@@ -1,0 +1,59 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/khepera.h"
+#include "eval/mission.h"
+#include "eval/scoring.h"
+
+namespace roboads::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n============================================================"
+              "====================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("=============================================================="
+              "==================\n");
+}
+
+inline std::string fmt_rate(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", 100.0 * r);
+  return buf;
+}
+
+inline std::string fmt_delay(const std::optional<double>& d) {
+  if (!d) return "miss";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fs", *d);
+  return buf;
+}
+
+// One scenario mission + score at the platform's default detector config.
+struct ScenarioRun {
+  std::string name;
+  eval::MissionResult result;
+  eval::ScenarioScore score;
+};
+
+inline ScenarioRun run_and_score(const eval::Platform& platform,
+                                 const attacks::Scenario& scenario,
+                                 std::uint64_t seed,
+                                 std::size_t iterations = 250) {
+  eval::MissionConfig cfg;
+  cfg.iterations = iterations;
+  cfg.seed = seed;
+  ScenarioRun run;
+  run.name = scenario.name();
+  run.result = eval::run_mission(platform, scenario, cfg);
+  run.score = eval::score_mission(run.result, platform);
+  return run;
+}
+
+}  // namespace roboads::bench

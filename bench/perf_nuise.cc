@@ -1,0 +1,121 @@
+// Runtime micro-benchmarks (google-benchmark): RoboADS must execute inside
+// one control iteration (100 ms on the paper's platforms; the paper notes
+// "detection delay is a constant multiple of control iterations", which
+// presumes the detector itself never becomes the bottleneck).
+//
+// Benchmarked: a single NUISE step, one full multi-mode engine iteration
+// (M = p estimators + selector), the full detector step (engine + decision
+// maker), and the LiDAR scan-processing pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/roboads.h"
+#include "dynamics/bicycle.h"
+#include "dynamics/diff_drive.h"
+#include "eval/khepera.h"
+#include "eval/tamiya.h"
+#include "sim/lidar.h"
+
+namespace roboads {
+namespace {
+
+struct KheperaFixture {
+  eval::KheperaPlatform platform;
+  Rng rng{99};
+  Vector x{0.5, 0.5, 0.3};
+  Vector u{0.05, 0.06};
+  Vector z;
+
+  KheperaFixture() {
+    GaussianSampler noise(
+        platform.suite().noise_covariance(platform.suite().all()));
+    z = platform.suite().measure(platform.suite().all(), x) +
+        noise.sample(rng);
+  }
+};
+
+void BM_NuiseStepKhepera(benchmark::State& state) {
+  KheperaFixture f;
+  core::Mode mode{"ref:ips", {1}, {0, 2}};
+  core::Nuise nuise(f.platform.model(), f.platform.suite(), mode,
+                    f.platform.process_cov());
+  const Matrix p = Matrix::identity(3) * 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nuise.step(f.x, p, f.u, f.z));
+  }
+}
+BENCHMARK(BM_NuiseStepKhepera);
+
+void BM_EngineStepKhepera(benchmark::State& state) {
+  KheperaFixture f;
+  core::MultiModeEngine engine(
+      f.platform.model(), f.platform.suite(),
+      core::one_reference_per_sensor(f.platform.suite()),
+      f.platform.process_cov(), f.x, Matrix::identity(3) * 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(f.u, f.z));
+  }
+}
+BENCHMARK(BM_EngineStepKhepera);
+
+void BM_FullDetectorStepKhepera(benchmark::State& state) {
+  KheperaFixture f;
+  core::RoboAds detector(f.platform.model(), f.platform.suite(),
+                         f.platform.process_cov(), f.x,
+                         Matrix::identity(3) * 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.step(f.u, f.z));
+  }
+}
+BENCHMARK(BM_FullDetectorStepKhepera);
+
+void BM_FullDetectorStepTamiya(benchmark::State& state) {
+  eval::TamiyaPlatform platform;
+  Rng rng(11);
+  const Vector x{1.0, 1.0, 0.5};
+  const Vector u{0.4, 0.05};
+  GaussianSampler noise(
+      platform.suite().noise_covariance(platform.suite().all()));
+  const Vector z =
+      platform.suite().measure(platform.suite().all(), x) + noise.sample(rng);
+  core::RoboAds detector(platform.model(), platform.suite(),
+                         platform.process_cov(), x,
+                         Matrix::identity(3) * 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.step(u, z));
+  }
+}
+BENCHMARK(BM_FullDetectorStepTamiya);
+
+void BM_LidarScanAndProcess(benchmark::State& state) {
+  const sim::World world(2.0, 1.5);
+  sim::LidarConfig cfg;
+  cfg.fov = 2.0 * M_PI;
+  cfg.beam_count = static_cast<std::size_t>(state.range(0));
+  sim::LidarScanner scanner(cfg);
+  sim::ScanProcessor processor(sim::ScanProcessorConfig{}, 2.0, 1.5);
+  Rng rng(5);
+  const Vector pose{0.7, 0.6, 0.4};
+  for (auto _ : state) {
+    const Vector ranges = scanner.scan(world, pose, rng);
+    benchmark::DoNotOptimize(processor.process(scanner, ranges, pose));
+  }
+}
+BENCHMARK(BM_LidarScanAndProcess)->Arg(81)->Arg(241)->Arg(681);
+
+void BM_RrtStarPlan(benchmark::State& state) {
+  const sim::World world(2.0, 1.5, {geom::Aabb{{0.85, 0.55}, {1.15, 0.85}}});
+  planning::RrtStarConfig cfg;
+  cfg.max_iterations = static_cast<std::size_t>(state.range(0));
+  planning::RrtStar planner(world, cfg);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(planner.plan({0.35, 0.3}, {1.6, 1.2}, rng));
+  }
+}
+BENCHMARK(BM_RrtStarPlan)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace roboads
+
+BENCHMARK_MAIN();

@@ -1,0 +1,252 @@
+// Quantifying §II-C: the paper argues time-based, fingerprint-based and
+// learning-based anomaly detection each leave classes of robot misbehavior
+// uncovered, which motivates the model-based design. This bench implements
+// all three baseline classes (src/bus/) and measures their coverage against
+// five representative misbehaviors, side by side with RoboADS:
+//
+//   A. sensor packet injection — foreign hardware floods spoofed IPS
+//      packets onto the bus (Table I row 3);
+//   B. abrupt GPS-style spoofing — genuine workflow, corrupted content;
+//   C. slow-drift spoofing — content corruption shaped to stay inside any
+//      learned rate envelope ("experienced attackers who have knowledge
+//      about ... their targets");
+//   D. LiDAR DoS — wire cut, packets stop;
+//   E. actuator logic bomb — the corruption happens *after* the bus, so
+//      bus-side monitors never see anything wrong.
+#include <algorithm>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "bus/baseline_detectors.h"
+
+namespace roboads::bench {
+namespace {
+
+using attacks::BiasInjector;
+using attacks::InjectionPoint;
+using attacks::RampInjector;
+using attacks::ReplaceInjector;
+using attacks::Scenario;
+using attacks::Window;
+
+constexpr std::size_t kAttackStart = 60;
+constexpr std::size_t kForever = static_cast<std::size_t>(-1);
+
+// Per-source transmitter fingerprints (enrollment ground truth).
+const std::map<std::string, std::uint64_t> kHardwareIds = {
+    {"wheel_encoder", 0x1111}, {"ips", 0x2222}, {"lidar", 0x3333},
+    {"wheels", 0x4444}};
+constexpr std::uint64_t kForeignId = 0xDEAD;
+
+struct TrafficOptions {
+  bool inject_foreign_ips = false;  // class A
+  bool drop_lidar = false;          // class D
+};
+
+// Builds the bus traffic a CAN tap would record during the mission:
+// one packet per workflow per iteration, with transmission jitter.
+bus::BusLog traffic_from(const eval::KheperaPlatform& platform,
+                         const eval::MissionResult& mission,
+                         const TrafficOptions& options) {
+  Rng jitter(4242);
+  bus::BusLog log;
+  const sensors::SensorSuite& suite = platform.suite();
+  for (const eval::IterationRecord& rec : mission.records) {
+    const double t = static_cast<double>(rec.k) * mission.dt;
+    for (std::size_t s = 0; s < suite.count(); ++s) {
+      const std::string name = suite.sensor(s).name();
+      if (options.drop_lidar && name == "lidar" && rec.k >= kAttackStart) {
+        continue;  // the cut wire transmits nothing
+      }
+      bus::Packet p;
+      p.source = name;
+      p.kind = bus::PacketKind::kSensorReading;
+      p.iteration = rec.k;
+      p.arrival_time = t + jitter.gaussian(0.0, 0.002);
+      p.hardware_id = kHardwareIds.at(name);
+      p.payload = rec.z.segment(suite.offset(s), suite.sensor(s).dim());
+      log.record(std::move(p));
+    }
+    // The command packet carries the *planned* command: an actuator-side
+    // logic bomb corrupts execution after the bus, invisibly to bus taps.
+    bus::Packet cmd;
+    cmd.source = "wheels";
+    cmd.kind = bus::PacketKind::kControlCommand;
+    cmd.iteration = rec.k;
+    cmd.arrival_time = t + jitter.gaussian(0.0, 0.002);
+    cmd.hardware_id = kHardwareIds.at("wheels");
+    cmd.payload = rec.u_planned;
+    log.record(std::move(cmd));
+
+    if (options.inject_foreign_ips && rec.k >= kAttackStart) {
+      bus::Packet fake;
+      fake.source = "ips";
+      fake.kind = bus::PacketKind::kSensorReading;
+      fake.iteration = rec.k;
+      fake.arrival_time = t + 0.05;  // mid-period flood
+      fake.hardware_id = kForeignId;
+      fake.payload = rec.z.segment(suite.offset(eval::KheperaPlatform::kIps),
+                                   3) +
+                     Vector{0.1, 0.0, 0.0};
+      log.record(std::move(fake));
+    }
+  }
+  return log;
+}
+
+struct CaseResult {
+  bool timing = false;
+  bool fingerprint = false;
+  bool content = false;
+  bool roboads = false;
+};
+
+int run() {
+  print_header("§II-C — related-work detector classes vs misbehavior "
+               "coverage",
+               "RoboADS (DSN'18) §II-C / Table I");
+
+  eval::KheperaPlatform platform;
+
+  // Train the learning-based monitor on clean traffic.
+  eval::MissionConfig clean_cfg;
+  clean_cfg.iterations = 250;
+  clean_cfg.seed = 1000;
+  const eval::MissionResult clean_mission =
+      eval::run_mission(platform, platform.clean_scenario(), clean_cfg);
+  bus::ContentEnvelopeMonitor content;
+  content.train(traffic_from(platform, clean_mission, {}));
+
+  bus::TimingMonitor timing;
+  bus::FingerprintMonitor fingerprint;
+  for (const auto& [source, id] : kHardwareIds) {
+    fingerprint.enroll(source, id);
+  }
+
+  struct Case {
+    std::string label;
+    Scenario scenario;
+    TrafficOptions traffic;
+  };
+  const std::vector<Case> cases = {
+      {"A. sensor packet injection",
+       Scenario("injection", "foreign IPS packets overwrite readings",
+                {{InjectionPoint::kSensorOutput, "ips",
+                  std::make_shared<BiasInjector>(
+                      Window{kAttackStart, kForever},
+                      Vector{0.1, 0.0, 0.0})}}),
+       {.inject_foreign_ips = true, .drop_lidar = false}},
+      {"B. abrupt content spoofing",
+       Scenario("spoof", "IPS content shifted +0.1 m",
+                {{InjectionPoint::kSensorOutput, "ips",
+                  std::make_shared<BiasInjector>(
+                      Window{kAttackStart, kForever},
+                      Vector{0.1, 0.0, 0.0})}}),
+       {}},
+      {"C. slow-drift spoofing",
+       Scenario("drift", "IPS drifts +3 mm per iteration",
+                {{InjectionPoint::kSensorOutput, "ips",
+                  std::make_shared<RampInjector>(
+                      Window{kAttackStart, kForever},
+                      Vector{0.003, 0.0, 0.0})}}),
+       {}},
+      {"D. LiDAR DoS (wire cut)",
+       Scenario("dos", "LiDAR raw ranges forced to zero",
+                {{InjectionPoint::kLidarRawScan, "lidar",
+                  std::make_shared<ReplaceInjector>(
+                      Window{kAttackStart, kForever},
+                      platform.config().lidar_beams, 0.0)}}),
+       {.inject_foreign_ips = false, .drop_lidar = true}},
+      {"E. actuator logic bomb",
+       Scenario("bomb", "∓0.04 m/s on the executed wheel speeds",
+                {{InjectionPoint::kActuatorCommand, "wheels",
+                  std::make_shared<BiasInjector>(
+                      Window{kAttackStart, kForever},
+                      Vector{-0.04, 0.04})}}),
+       {}},
+  };
+
+  std::printf("%-30s %10s %13s %10s %10s\n", "misbehavior", "time-based",
+              "fingerprint", "learning", "RoboADS");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  std::size_t roboads_score = 0, best_baseline_score = 0;
+  std::size_t timing_score = 0, fp_score = 0, content_score = 0;
+  for (const Case& c : cases) {
+    eval::MissionConfig cfg;
+    cfg.iterations = 250;
+    cfg.seed = 1000;  // same trajectory family as training
+    const eval::MissionResult mission =
+        eval::run_mission(platform, c.scenario, cfg);
+    const bus::BusLog log = traffic_from(platform, mission, c.traffic);
+
+    CaseResult r;
+    // Baselines: require a sustained signal (≥ 3 alarms) on any source, to
+    // mirror RoboADS' own transient tolerance.
+    r.timing = timing.analyze(log).size() >= 3;
+    r.fingerprint = fingerprint.analyze(log).size() >= 3;
+    r.content = content.analyze(log).size() >= 3;
+    for (const eval::IterationRecord& rec : mission.records) {
+      if (rec.report.decision.sensor_alarm ||
+          rec.report.decision.actuator_alarm) {
+        r.roboads = true;
+        break;
+      }
+    }
+
+    std::printf("%-30s %10s %13s %10s %10s\n", c.label.c_str(),
+                r.timing ? "DETECTED" : "blind",
+                r.fingerprint ? "DETECTED" : "blind",
+                r.content ? "DETECTED" : "blind",
+                r.roboads ? "DETECTED" : "blind");
+    roboads_score += r.roboads;
+    timing_score += r.timing;
+    fp_score += r.fingerprint;
+    content_score += r.content;
+  }
+  best_baseline_score =
+      std::max({timing_score, fp_score, content_score});
+
+  // F. The paper's critique of learning-based approaches, from the other
+  // side: "even with large datasets, learning-based approaches cannot
+  // enumerate and cover exhaustive scenarios in robots." A mission to a
+  // *different* goal is perfectly legitimate but traverses states the norm
+  // model never saw — the content monitor false-positives while RoboADS
+  // (which needs no training at all) stays silent.
+  {
+    eval::KheperaConfig novel_cfg;
+    novel_cfg.goal = {0.45, 1.20};  // west corridor instead of northeast
+    eval::KheperaPlatform novel_platform(novel_cfg);
+    eval::MissionConfig cfg;
+    cfg.iterations = 250;
+    cfg.seed = 3000;
+    const eval::MissionResult mission = eval::run_mission(
+        novel_platform, novel_platform.clean_scenario(), cfg);
+    const bus::BusLog log = traffic_from(novel_platform, mission, {});
+    const bool content_fp = content.analyze(log).size() >= 3;
+    std::size_t alarms = 0;
+    for (const eval::IterationRecord& rec : mission.records) {
+      if (rec.report.decision.sensor_alarm) ++alarms;
+    }
+    const bool roboads_fp = alarms >= 3;
+    std::printf("%-30s %10s %13s %10s %10s  (clean: DETECTED = false "
+                "alarm)\n",
+                "F. legitimate novel mission", "-", "-",
+                content_fp ? "DETECTED" : "quiet",
+                roboads_fp ? "DETECTED" : "quiet");
+  }
+
+  std::printf("%s\n", std::string(78, '-').c_str());
+  std::printf("coverage: time %zu/5, fingerprint %zu/5, learning %zu/5, "
+              "RoboADS %zu/5\n",
+              timing_score, fp_score, content_score, roboads_score);
+  std::printf("shape check (paper §II-C): RoboADS covers every class and "
+              "each baseline misses some: %s\n",
+              roboads_score == 5 && best_baseline_score < 5 ? "yes" : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace roboads::bench
+
+int main() { return roboads::bench::run(); }

@@ -1,0 +1,88 @@
+// Forensics replay (§III-C: "for forensics purposes, we intend to quantify
+// the magnitude of the anomaly"): run a combined sensor+actuator attack,
+// then reconstruct from the detector's own outputs *what* was injected,
+// *where*, and *how large* — without ever looking at the scenario's ground
+// truth until the final comparison.
+//
+//   ./build/examples/forensics_replay
+#include <cstdio>
+
+#include "dynamics/diff_drive.h"
+#include "eval/khepera.h"
+#include "eval/mission.h"
+#include "eval/scoring.h"
+
+using namespace roboads;
+using namespace roboads::eval;
+
+int main() {
+  KheperaPlatform platform;
+  // Scenario #8: IPS logic bomb (+0.07 m on X from 4 s) plus a wheel
+  // controller bomb (∓6000 units from 10 s).
+  const attacks::Scenario scenario = platform.table2_scenario(8);
+  MissionConfig cfg;
+  cfg.iterations = 220;
+  cfg.seed = 5150;
+  const MissionResult result = run_mission(platform, scenario, cfg);
+
+  // --- Forensic reconstruction from detector outputs only. ---
+  // 1. When did each workflow start misbehaving?
+  std::size_t first_sensor_alarm = 0, first_actuator_alarm = 0;
+  for (const IterationRecord& rec : result.records) {
+    if (!first_sensor_alarm && rec.report.decision.sensor_alarm)
+      first_sensor_alarm = rec.k;
+    if (!first_actuator_alarm && rec.report.decision.actuator_alarm)
+      first_actuator_alarm = rec.k;
+  }
+
+  // 2. Which workflows, and what was injected? Average the anomaly
+  //    estimates over the post-alarm window.
+  Vector ips_anomaly(3), actuator_anomaly(2);
+  std::size_t n_ips = 0, n_act = 0;
+  for (const IterationRecord& rec : result.records) {
+    if (first_sensor_alarm && rec.k >= first_sensor_alarm + 10) {
+      const Vector& est =
+          rec.report.sensor_anomaly_by_sensor[KheperaPlatform::kIps];
+      if (!est.empty()) {
+        ips_anomaly += est;
+        ++n_ips;
+      }
+    }
+    if (first_actuator_alarm && rec.k >= first_actuator_alarm + 10) {
+      actuator_anomaly += rec.report.actuator_anomaly;
+      ++n_act;
+    }
+  }
+  if (n_ips) ips_anomaly /= static_cast<double>(n_ips);
+  if (n_act) actuator_anomaly /= static_cast<double>(n_act);
+
+  std::printf("forensic report (reconstructed from detector outputs)\n");
+  std::printf("----------------------------------------------------\n");
+  std::printf("sensor misbehavior first confirmed at   t = %.1f s\n",
+              static_cast<double>(first_sensor_alarm) * result.dt);
+  std::printf("actuator misbehavior first confirmed at t = %.1f s\n",
+              static_cast<double>(first_actuator_alarm) * result.dt);
+  std::printf("estimated IPS corruption:      (%+.3f, %+.3f, %+.3f)\n",
+              ips_anomaly[0], ips_anomaly[1], ips_anomaly[2]);
+  std::printf("estimated actuator corruption: (%+.4f, %+.4f) m/s\n",
+              actuator_anomaly[0], actuator_anomaly[1]);
+  std::printf("                             = (%+.0f, %+.0f) Khepera "
+              "speed units\n",
+              actuator_anomaly[0] / dyn::kKheperaSpeedUnit,
+              actuator_anomaly[1] / dyn::kKheperaSpeedUnit);
+
+  std::printf("\nground truth (what the scenario actually injected)\n");
+  std::printf("----------------------------------------------------\n");
+  std::printf("IPS bias (+0.070, 0, 0) from t = 4.0 s; wheel bias "
+              "(-6000, +6000) units from t = 10.0 s\n");
+
+  const double sensor_err = sensor_quantification_error(
+      result, KheperaPlatform::kIps, Vector{0.07, 0.0, 0.0}, 120);
+  const double bomb = dyn::khepera_units_to_mps(6000.0);
+  const double act_err = actuator_quantification_error(
+      result, Vector{-bomb, bomb}, 120);
+  std::printf("\nnormalized quantification error: sensor %.2f%%, actuator "
+              "%.2f%% (paper §V-C: 1.91%% and 0.41-1.79%%)\n",
+              100.0 * sensor_err, 100.0 * act_err);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: wire RoboADS onto a differential-drive robot in ~60 lines.
+//
+// A robot drives a gentle arc; at t = 5 s its GPS-like positioning sensor is
+// spoofed 10 cm east. RoboADS detects the misbehavior, attributes it to the
+// right sensing workflow, and quantifies the injected corruption.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/roboads.h"
+#include "dynamics/diff_drive.h"
+#include "random/rng.h"
+#include "sensors/standard_sensors.h"
+
+using namespace roboads;
+
+int main() {
+  // 1. The robot: a differential-drive model (the paper's Khepera III).
+  dyn::DiffDrive robot({.axle_length = 0.089, .dt = 0.1});
+
+  // 2. Its sensors: wheel odometry, an indoor positioning system, and a
+  //    LiDAR wall-navigation unit, each with its noise covariance.
+  sensors::SensorSuite suite({
+      sensors::make_wheel_odometry(3, 0.006, 0.012),
+      sensors::make_ips(3, 0.005, 0.010),
+      sensors::make_lidar_nav(3, /*arena_width=*/2.0, 0.02, 0.02),
+  });
+
+  // 3. The detector: multi-mode NUISE over the default one-reference-per-
+  //    sensor hypothesis set, χ² decisions at the paper's α / window
+  //    settings.
+  const Matrix q = Matrix::diagonal(Vector{2.5e-7, 2.5e-7, 1e-6});
+  const Vector x0{0.5, 0.5, 0.0};
+  core::RoboAds detector(robot, suite, q, x0, Matrix::identity(3) * 1e-4);
+
+  // 4. Simulate the control loop: truth propagation + noisy readings.
+  Rng rng(7);
+  GaussianSampler process_noise(q);
+  Vector x_true = x0;
+  std::printf("t[s]  alarm  misbehaving   d_ips = (x, y, theta)\n");
+  for (std::size_t k = 1; k <= 100; ++k) {
+    const Vector u{0.05, 0.06};  // planned wheel speeds: a gentle left arc
+    x_true = robot.step(x_true, u) + process_noise.sample(rng);
+
+    Vector z = suite.measure(suite.all(), x_true);
+    for (std::size_t s = 0; s < suite.count(); ++s) {
+      GaussianSampler noise(suite.sensor(s).noise_covariance());
+      z.set_segment(suite.offset(s),
+                    z.segment(suite.offset(s), suite.sensor(s).dim()) +
+                        noise.sample(rng));
+    }
+    if (k >= 50) z[suite.offset(1) + 0] += 0.10;  // spoof IPS x by +10 cm
+
+    // 5. One detection iteration: planned commands + received readings in,
+    //    alarms and anomaly quantification out.
+    const core::DetectionReport report = detector.step(u, z);
+
+    if (k % 10 == 0 || (k >= 50 && k <= 54)) {
+      std::string names;
+      for (std::size_t s : report.decision.misbehaving_sensors) {
+        names += suite.sensor(s).name() + " ";
+      }
+      const Vector& d_ips = report.sensor_anomaly_by_sensor[1];
+      std::printf("%4.1f  %-5s  %-12s  (%+.3f, %+.3f, %+.3f)\n",
+                  0.1 * static_cast<double>(k),
+                  report.decision.sensor_alarm ? "YES" : "no",
+                  names.empty() ? "-" : names.c_str(),
+                  d_ips.empty() ? 0.0 : d_ips[0],
+                  d_ips.empty() ? 0.0 : d_ips[1],
+                  d_ips.empty() ? 0.0 : d_ips[2]);
+    }
+  }
+  std::printf("\nThe +0.100 m spoof appears in d_ips x within ~0.2 s of "
+              "injection.\n");
+  return 0;
+}

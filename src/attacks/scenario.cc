@@ -1,0 +1,64 @@
+#include "attacks/scenario.h"
+
+#include <algorithm>
+
+namespace roboads::attacks {
+
+Scenario::Scenario(std::string name, std::string description,
+                   std::vector<Attachment> attachments)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      attachments_(std::move(attachments)) {
+  for (const Attachment& a : attachments_) {
+    ROBOADS_CHECK(a.injector != nullptr,
+                  "scenario '" + name_ + "' has a null injector");
+    if (a.point != InjectionPoint::kActuatorCommand) {
+      ROBOADS_CHECK(!a.workflow.empty(),
+                    "sensor-side attachment needs a workflow name");
+    }
+  }
+}
+
+std::vector<InjectorPtr> Scenario::injectors_for(
+    InjectionPoint point, const std::string& workflow) const {
+  std::vector<InjectorPtr> out;
+  for (const Attachment& a : attachments_) {
+    if (a.point != point) continue;
+    if (point != InjectionPoint::kActuatorCommand && a.workflow != workflow)
+      continue;
+    out.push_back(a.injector);
+  }
+  return out;
+}
+
+GroundTruth Scenario::truth_at(std::size_t k,
+                               const sensors::SensorSuite& suite) const {
+  GroundTruth truth;
+  for (const Attachment& a : attachments_) {
+    if (!a.injector->active(k)) continue;
+    if (a.point == InjectionPoint::kActuatorCommand) {
+      truth.actuator_corrupted = true;
+    } else {
+      truth.corrupted_sensors.push_back(suite.index_of(a.workflow));
+    }
+  }
+  std::sort(truth.corrupted_sensors.begin(), truth.corrupted_sensors.end());
+  truth.corrupted_sensors.erase(std::unique(truth.corrupted_sensors.begin(),
+                                            truth.corrupted_sensors.end()),
+                                truth.corrupted_sensors.end());
+  return truth;
+}
+
+std::vector<std::size_t> Scenario::transition_iterations(
+    const sensors::SensorSuite& suite, std::size_t horizon) const {
+  std::vector<std::size_t> out;
+  GroundTruth prev = truth_at(0, suite);
+  for (std::size_t k = 1; k < horizon; ++k) {
+    const GroundTruth now = truth_at(k, suite);
+    if (!(now == prev)) out.push_back(k);
+    prev = now;
+  }
+  return out;
+}
+
+}  // namespace roboads::attacks

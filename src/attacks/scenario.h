@@ -1,0 +1,74 @@
+// Attack/failure scenarios: named bundles of injectors attached to specific
+// workflows, plus the ground-truth misbehavior timeline the evaluation
+// harness scores detections against (paper Table II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/injector.h"
+#include "sensors/sensor_model.h"
+
+namespace roboads::attacks {
+
+// Where along a workflow an injector corrupts data (Fig. 2: misbehaviors can
+// enter at any step of a sensing/actuation workflow, cyber or physical).
+enum class InjectionPoint {
+  kSensorOutput,     // processed reading handed to the planner
+  kLidarRawScan,     // raw range array before scan processing
+  kActuatorCommand,  // control command as executed by the actuator
+};
+
+struct Attachment {
+  InjectionPoint point = InjectionPoint::kSensorOutput;
+  // Sensor name (suite naming) for sensor-side points; ignored for the
+  // actuator command, which this library models as a single actuation
+  // workflow per robot.
+  std::string workflow;
+  InjectorPtr injector;
+};
+
+// The true misbehavior condition at one iteration.
+struct GroundTruth {
+  std::vector<std::size_t> corrupted_sensors;  // suite indices, sorted
+  bool actuator_corrupted = false;
+
+  bool clean() const {
+    return corrupted_sensors.empty() && !actuator_corrupted;
+  }
+  bool operator==(const GroundTruth& o) const {
+    return corrupted_sensors == o.corrupted_sensors &&
+           actuator_corrupted == o.actuator_corrupted;
+  }
+};
+
+class Scenario {
+ public:
+  Scenario(std::string name, std::string description,
+           std::vector<Attachment> attachments);
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  const std::vector<Attachment>& attachments() const { return attachments_; }
+
+  // Injectors attached to the given point/workflow (shared, stateful).
+  std::vector<InjectorPtr> injectors_for(InjectionPoint point,
+                                         const std::string& workflow) const;
+
+  // Ground-truth condition at iteration k, resolving workflow names to
+  // suite indices.
+  GroundTruth truth_at(std::size_t k,
+                       const sensors::SensorSuite& suite) const;
+
+  // Iterations at which the ground-truth condition changes (attack phase
+  // boundaries) — the reference points for detection-delay measurement.
+  std::vector<std::size_t> transition_iterations(
+      const sensors::SensorSuite& suite, std::size_t horizon) const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<Attachment> attachments_;
+};
+
+}  // namespace roboads::attacks

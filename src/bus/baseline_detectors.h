@@ -1,0 +1,98 @@
+// The three related-work detector classes of paper §II-C, implemented as
+// working baselines so their blind spots can be measured instead of argued:
+//
+//   * time-based      — "monitor and validate the timeliness of
+//                        communication packets" (Miller & Valasek; Taylor;
+//                        Song et al.): catches aperiodic injection and
+//                        missing packets, "could be defeated by experienced
+//                        attackers who have knowledge about the
+//                        periodicity of their targets";
+//   * fingerprint-based — transmitter profiling (Cho & Shin's clock-skew /
+//                        voltage fingerprinting): catches impersonation by
+//                        foreign hardware, fails "if a sensing workflow
+//                        itself is malicious or faulty";
+//   * learning-based  — statistical norm models over packet contents
+//                        (Taylor's LSTM, Ganesan et al.): no dynamic model,
+//                        so subtle, physically-plausible corruptions pass.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bus/packet.h"
+
+namespace roboads::bus {
+
+struct BaselineAlarm {
+  std::string source;       // implicated workflow
+  std::size_t iteration = 0;
+  std::string reason;
+};
+
+// --- Time-based: per-source packet periodicity. ---
+class TimingMonitor {
+ public:
+  struct Config {
+    double nominal_period = 0.1;   // [s]
+    double jitter_tolerance = 0.3; // fraction of the period
+  };
+
+  TimingMonitor() = default;
+  explicit TimingMonitor(Config config) : config_(config) {}
+
+  // Flags inter-arrival gaps that are too long (missing packets) or too
+  // short (injected extra packets) per source.
+  std::vector<BaselineAlarm> analyze(const BusLog& log) const;
+
+ private:
+  Config config_;
+};
+
+// --- Fingerprint-based: per-source transmitter identity. ---
+class FingerprintMonitor {
+ public:
+  // Registers the genuine hardware id of each workflow (learned in a
+  // trusted enrollment phase, as ECU fingerprinting schemes do).
+  void enroll(const std::string& source, std::uint64_t hardware_id);
+
+  // Flags packets whose fingerprint does not match the enrolled identity.
+  std::vector<BaselineAlarm> analyze(const BusLog& log) const;
+
+ private:
+  std::map<std::string, std::uint64_t> enrolled_;
+};
+
+// --- Learning-based: per-component rate-of-change and range envelopes. ---
+class ContentEnvelopeMonitor {
+ public:
+  struct Config {
+    // Envelope slack: flag only when a value exceeds `margin` × the widest
+    // excursion seen in training.
+    double margin = 1.5;
+  };
+
+  ContentEnvelopeMonitor() = default;
+  explicit ContentEnvelopeMonitor(Config config) : config_(config) {}
+
+  // Learns per-source envelopes (value range and per-iteration delta range)
+  // from a clean traffic log.
+  void train(const BusLog& clean_log);
+  bool trained() const { return !envelopes_.empty(); }
+
+  std::vector<BaselineAlarm> analyze(const BusLog& log) const;
+
+ private:
+  struct Envelope {
+    Vector min_value, max_value;
+    Vector max_abs_delta;
+  };
+  Config config_;
+  std::map<std::string, Envelope> envelopes_;
+};
+
+// Distinct sources implicated by a set of alarms.
+std::set<std::string> implicated_sources(
+    const std::vector<BaselineAlarm>& alarms);
+
+}  // namespace roboads::bus

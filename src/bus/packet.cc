@@ -1,0 +1,37 @@
+#include "bus/packet.h"
+
+#include <algorithm>
+
+namespace roboads::bus {
+
+void BusLog::record(Packet packet) {
+  ROBOADS_CHECK(!packet.source.empty(), "packet needs a source");
+  // Keep arrival order: insertion point by arrival time (logs are built
+  // nearly in order, so this is effectively O(1) amortized).
+  auto it = packets_.end();
+  while (it != packets_.begin() &&
+         std::prev(it)->arrival_time > packet.arrival_time) {
+    --it;
+  }
+  packets_.insert(it, std::move(packet));
+}
+
+std::vector<const Packet*> BusLog::from(const std::string& source) const {
+  std::vector<const Packet*> out;
+  for (const Packet& p : packets_) {
+    if (p.source == source) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<std::string> BusLog::sources() const {
+  std::vector<std::string> out;
+  for (const Packet& p : packets_) {
+    if (std::find(out.begin(), out.end(), p.source) == out.end()) {
+      out.push_back(p.source);
+    }
+  }
+  return out;
+}
+
+}  // namespace roboads::bus

@@ -1,0 +1,45 @@
+// Communication-bus model (paper Fig. 1: "a communication bus connects all
+// parts of the robot and enables data transmission relying on protocols
+// such as CAN").
+//
+// Packets carry, beside their payload, the metadata the related-work
+// detector classes of §II-C key on: arrival time (time-based approaches),
+// a transmitter hardware fingerprint (fingerprint-based approaches, after
+// Cho et al.'s clock-skew/voltage ECU profiling), and the source workflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace roboads::bus {
+
+enum class PacketKind { kSensorReading, kControlCommand };
+
+struct Packet {
+  std::string source;       // workflow name
+  PacketKind kind = PacketKind::kSensorReading;
+  std::size_t iteration = 0;
+  double arrival_time = 0.0;   // [s], includes transmission jitter
+  std::uint64_t hardware_id = 0;  // PUF-style transmitter fingerprint
+  Vector payload;
+};
+
+// A recorded window of bus traffic, ordered by arrival time.
+class BusLog {
+ public:
+  void record(Packet packet);
+
+  const std::vector<Packet>& packets() const { return packets_; }
+  // Packets from one source, in arrival order.
+  std::vector<const Packet*> from(const std::string& source) const;
+  // All distinct sources seen.
+  std::vector<std::string> sources() const;
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+}  // namespace roboads::bus

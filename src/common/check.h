@@ -1,0 +1,50 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// ROBOADS_CHECK(cond, msg) throws roboads::CheckError when `cond` is false.
+// These guard API misuse (dimension mismatches, invalid parameters) and are
+// kept on in release builds: the cost is negligible next to the matrix math
+// they protect, and a hard failure beats silently corrupted estimates in a
+// detection system.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace roboads {
+
+// Thrown on violated preconditions/invariants anywhere in the library.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ROBOADS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace roboads
+
+#define ROBOADS_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::roboads::internal::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+#define ROBOADS_CHECK_EQ(a, b, msg)                                  \
+  do {                                                               \
+    if (!((a) == (b))) {                                             \
+      std::ostringstream os_;                                        \
+      os_ << (msg) << " [" << (a) << " != " << (b) << "]";           \
+      ::roboads::internal::check_failed(#a " == " #b, __FILE__,      \
+                                        __LINE__, os_.str());        \
+    }                                                                \
+  } while (false)

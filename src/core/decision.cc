@@ -1,0 +1,98 @@
+#include "core/decision.h"
+
+#include "matrix/decomp.h"
+#include "stats/chi_square.h"
+
+namespace roboads::core {
+
+DecisionMaker::DecisionMaker(const sensors::SensorSuite& suite,
+                             DecisionConfig config)
+    : suite_(suite), config_(config),
+      per_sensor_history_(suite.count()) {
+  ROBOADS_CHECK(config_.sensor_alpha > 0.0 && config_.sensor_alpha < 1.0,
+                "sensor alpha must lie in (0,1)");
+  ROBOADS_CHECK(config_.actuator_alpha > 0.0 && config_.actuator_alpha < 1.0,
+                "actuator alpha must lie in (0,1)");
+  auto check_window = [](const SlidingWindowConfig& w) {
+    ROBOADS_CHECK(w.window >= 1 && w.criteria >= 1 && w.criteria <= w.window,
+                  "sliding window requires 1 <= c <= w");
+  };
+  check_window(config_.sensor_window);
+  check_window(config_.actuator_window);
+}
+
+void DecisionMaker::reset() {
+  sensor_history_.clear();
+  actuator_history_.clear();
+  for (auto& h : per_sensor_history_) h.clear();
+}
+
+bool DecisionMaker::window_met(std::deque<bool>& history, bool positive,
+                               const SlidingWindowConfig& cfg) const {
+  history.push_back(positive);
+  while (history.size() > cfg.window) history.pop_front();
+  std::size_t count = 0;
+  for (bool b : history) count += b ? 1 : 0;
+  return count >= cfg.criteria;
+}
+
+Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
+  Decision d;
+
+  // --- Aggregate sensor test (line 10). ---
+  if (!result.sensor_anomaly.empty()) {
+    const std::size_t dof = result.sensor_anomaly.size();
+    d.sensor_statistic = quadratic_form(
+        inverse_spd(result.sensor_anomaly_cov), result.sensor_anomaly);
+    d.sensor_threshold = stats::chi_square_threshold(config_.sensor_alpha,
+                                                     dof);
+    d.sensor_test_positive = d.sensor_statistic > d.sensor_threshold;
+  }
+  d.sensor_alarm = window_met(sensor_history_, d.sensor_test_positive,
+                              config_.sensor_window);
+
+  // --- Aggregate actuator test (line 11). ---
+  {
+    const std::size_t dof = result.actuator_anomaly.size();
+    d.actuator_statistic = quadratic_form(
+        inverse_spd(result.actuator_anomaly_cov), result.actuator_anomaly);
+    d.actuator_threshold =
+        stats::chi_square_threshold(config_.actuator_alpha, dof);
+    d.actuator_test_positive = d.actuator_statistic > d.actuator_threshold;
+  }
+  d.actuator_alarm = window_met(actuator_history_, d.actuator_test_positive,
+                                config_.actuator_window);
+  d.actuator_anomaly = result.actuator_anomaly;
+
+  // --- Per-sensor attribution (lines 12-19). ---
+  // The per-sensor χ² outcome is tracked every iteration through the same
+  // sliding-window mechanism as the aggregate test, so that the attributed
+  // sensor set is as debounced as the alarm itself; a sensor is *confirmed*
+  // only while the aggregate alarm holds.
+  std::size_t at = 0;
+  for (std::size_t t : mode.testing) {
+    const std::size_t dim = suite_.sensor(t).dim();
+    SensorVerdict v;
+    v.sensor_index = t;
+    v.anomaly_estimate = result.sensor_anomaly.segment(at, dim);
+    const Matrix block = result.sensor_anomaly_cov.block(at, at, dim, dim);
+    v.statistic = quadratic_form(inverse_spd(block), v.anomaly_estimate);
+    v.threshold = stats::chi_square_threshold(config_.sensor_alpha, dim);
+    const bool positive = v.statistic > v.threshold;
+    const bool windowed = window_met(per_sensor_history_[t], positive,
+                                     config_.sensor_window);
+    v.misbehaving = d.sensor_alarm && windowed;
+    if (v.misbehaving) d.misbehaving_sensors.push_back(t);
+    d.sensor_verdicts.push_back(std::move(v));
+    at += dim;
+  }
+  // Reference sensors carry no fresh test this iteration, but their windows
+  // must age so stale positives from before a mode switch decay.
+  for (std::size_t r : mode.reference) {
+    window_met(per_sensor_history_[r], false, config_.sensor_window);
+  }
+
+  return d;
+}
+
+}  // namespace roboads::core

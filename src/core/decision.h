@@ -1,0 +1,87 @@
+// Decision maker (paper §IV-D; Algorithm 1, lines 10-25).
+//
+// χ² hypothesis tests on the normalized anomaly-vector estimates, gated by
+// sliding windows to suppress transient faults (bumps, uneven ground): an
+// alarm is raised only when at least `criteria` positives occur within the
+// last `window` iterations. On a confirmed sensor alarm the stacked sensor
+// anomaly is split per testing sensor and each block is tested individually
+// to attribute the misbehavior (lines 13-18). Actuator misbehavior is
+// confirmed on the aggregate statistic only — the paper performs no
+// per-actuator test (line 22-24 merely reports the per-actuator estimate
+// components).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace roboads::core {
+
+struct SlidingWindowConfig {
+  std::size_t window = 1;    // w
+  std::size_t criteria = 1;  // c (must satisfy c <= w)
+};
+
+struct DecisionConfig {
+  double sensor_alpha = 0.005;    // paper's chosen sensor confidence level
+  double actuator_alpha = 0.05;   // paper's chosen actuator confidence level
+  SlidingWindowConfig sensor_window{2, 2};    // paper: c/w = 2/2
+  SlidingWindowConfig actuator_window{6, 3};  // paper: c/w = 3/6
+};
+
+struct SensorVerdict {
+  std::size_t sensor_index = 0;  // suite index
+  bool misbehaving = false;
+  double statistic = 0.0;   // per-sensor χ² statistic at this iteration
+  double threshold = 0.0;
+  Vector anomaly_estimate;  // d̂ˢ block for this sensor
+};
+
+struct Decision {
+  // Aggregate χ² statistics of the selected mode and their thresholds.
+  double sensor_statistic = 0.0;
+  double sensor_threshold = 0.0;
+  bool sensor_test_positive = false;   // this iteration, pre-window
+  bool sensor_alarm = false;           // post-window alarm
+
+  double actuator_statistic = 0.0;
+  double actuator_threshold = 0.0;
+  bool actuator_test_positive = false;
+  bool actuator_alarm = false;
+
+  // Per-sensor attribution for every testing sensor of the selected mode;
+  // meaningful (misbehaving may be true) only while sensor_alarm holds.
+  std::vector<SensorVerdict> sensor_verdicts;
+  // Suite indices confirmed misbehaving this iteration (empty if none).
+  std::vector<std::size_t> misbehaving_sensors;
+
+  Vector actuator_anomaly;  // d̂ᵃ from the selected mode
+};
+
+class DecisionMaker {
+ public:
+  DecisionMaker(const sensors::SensorSuite& suite, DecisionConfig config);
+
+  const DecisionConfig& config() const { return config_; }
+
+  // Evaluates the selected mode's NUISE outputs for this iteration.
+  Decision evaluate(const Mode& mode, const NuiseResult& result);
+
+  // Clears the sliding windows (e.g. at mission start).
+  void reset();
+
+ private:
+  bool window_met(std::deque<bool>& history, bool positive,
+                  const SlidingWindowConfig& cfg) const;
+
+  const sensors::SensorSuite& suite_;
+  DecisionConfig config_;
+  std::deque<bool> sensor_history_;
+  std::deque<bool> actuator_history_;
+  // Per-suite-sensor positive history for stable attribution.
+  std::vector<std::deque<bool>> per_sensor_history_;
+};
+
+}  // namespace roboads::core

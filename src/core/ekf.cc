@@ -1,0 +1,48 @@
+#include "core/ekf.h"
+
+#include "matrix/decomp.h"
+
+namespace roboads::core {
+
+Ekf::Ekf(const dyn::DynamicModel& model, const sensors::SensorSuite& suite,
+         Matrix process_cov, std::vector<std::size_t> used)
+    : model_(model),
+      suite_(suite),
+      process_cov_(std::move(process_cov)),
+      used_(used.empty() ? suite.all() : std::move(used)) {
+  ROBOADS_CHECK(process_cov_.rows() == model_.state_dim() &&
+                    process_cov_.cols() == model_.state_dim(),
+                "process covariance shape mismatch");
+  ROBOADS_CHECK(!used_.empty(), "EKF needs at least one sensor");
+}
+
+EkfResult Ekf::step(const Vector& x_prev, const Matrix& p_prev,
+                    const Vector& u_prev, const Vector& z_full) const {
+  const std::size_t n = model_.state_dim();
+  ROBOADS_CHECK_EQ(x_prev.size(), n, "state size mismatch");
+
+  // Predict.
+  const Matrix a = model_.jacobian_state(x_prev, u_prev);
+  const Vector x_pred = model_.step(x_prev, u_prev);
+  const Matrix p_pred =
+      (a * p_prev * a.transpose() + process_cov_).symmetrized();
+
+  // Update against the fused measurement stack.
+  const Matrix c = suite_.jacobian(used_, x_pred);
+  const Matrix r = suite_.noise_covariance(used_);
+  const Vector z = suite_.slice(used_, z_full);
+
+  EkfResult out;
+  out.innovation = suite_.residual(used_, z, x_pred);
+  out.innovation_cov =
+      (c * p_pred * c.transpose() + r).symmetrized();
+  const Matrix gain = p_pred * c.transpose() * inverse_spd(out.innovation_cov);
+  out.state = x_pred + gain * out.innovation;
+  const Matrix joseph = Matrix::identity(n) - gain * c;
+  out.state_cov = (joseph * p_pred * joseph.transpose() +
+                   gain * r * gain.transpose())
+                      .symmetrized();
+  return out;
+}
+
+}  // namespace roboads::core

@@ -1,0 +1,41 @@
+// Standard Extended Kalman Filter — the no-unknown-input comparator.
+//
+// An EKF assumes the executed commands equal the planned commands. Under an
+// actuator misbehavior its state estimate is biased by exactly the effect
+// NUISE's step-1 input estimation removes; the ablation bench
+// (bench/nuise_vs_ekf) measures that gap. Also serves as the library's
+// plain state estimator for users who only need fusion, not detection.
+#pragma once
+
+#include "dynamics/model.h"
+#include "sensors/sensor_model.h"
+
+namespace roboads::core {
+
+struct EkfResult {
+  Vector state;
+  Matrix state_cov;
+  Vector innovation;
+  Matrix innovation_cov;
+};
+
+class Ekf {
+ public:
+  // Fuses the sensors in `used` (suite indices, suite order); empty means
+  // all. `model` and `suite` must outlive the filter.
+  Ekf(const dyn::DynamicModel& model, const sensors::SensorSuite& suite,
+      Matrix process_cov, std::vector<std::size_t> used = {});
+
+  // One predict-update cycle from (x̂_{k−1}, P_{k−1}) under planned input
+  // u_{k−1} and full stacked readings z_k.
+  EkfResult step(const Vector& x_prev, const Matrix& p_prev,
+                 const Vector& u_prev, const Vector& z_full) const;
+
+ private:
+  const dyn::DynamicModel& model_;
+  const sensors::SensorSuite& suite_;
+  Matrix process_cov_;
+  std::vector<std::size_t> used_;
+};
+
+}  // namespace roboads::core

@@ -1,0 +1,76 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roboads::core {
+
+MultiModeEngine::MultiModeEngine(const dyn::DynamicModel& model,
+                                 const sensors::SensorSuite& suite,
+                                 std::vector<Mode> modes,
+                                 const Matrix& process_cov, const Vector& x0,
+                                 const Matrix& p0, EngineConfig config)
+    : modes_(std::move(modes)), config_(config) {
+  validate_modes(modes_, suite);
+  ROBOADS_CHECK(config_.likelihood_floor > 0.0 &&
+                    config_.likelihood_floor < 1.0 / modes_.size(),
+                "likelihood floor must lie in (0, 1/M)");
+  estimators_.reserve(modes_.size());
+  for (const Mode& m : modes_) {
+    estimators_.emplace_back(model, suite, m, process_cov);
+  }
+  reset(x0, p0);
+}
+
+void MultiModeEngine::reset(const Vector& x0, const Matrix& p0) {
+  ROBOADS_CHECK_EQ(x0.size(), p0.rows(), "initial state/covariance mismatch");
+  ROBOADS_CHECK(p0.is_symmetric(1e-8), "initial covariance must be symmetric");
+  state_ = x0;
+  state_cov_ = p0;
+  weights_.assign(modes_.size(), 1.0 / static_cast<double>(modes_.size()));
+}
+
+EngineResult MultiModeEngine::step(const Vector& u_prev,
+                                   const Vector& z_full) {
+  EngineResult out;
+  out.per_mode.reserve(modes_.size());
+
+  // Run every mode's NUISE from the shared previous estimate and collect
+  // log-weights log(μ_m,k−1 · N_m,k).
+  std::vector<double> log_w(modes_.size());
+  for (std::size_t m = 0; m < modes_.size(); ++m) {
+    out.per_mode.push_back(estimators_[m].step(state_, state_cov_, u_prev,
+                                               z_full));
+    log_w[m] = std::log(weights_[m]) + out.per_mode.back().log_likelihood;
+  }
+
+  // Normalize in the log domain, then apply the ε floor and renormalize so
+  // no hypothesis is ever irrecoverably ruled out.
+  const double max_lw = *std::max_element(log_w.begin(), log_w.end());
+  double sum = 0.0;
+  for (double& lw : log_w) {
+    lw = std::isfinite(max_lw) ? std::exp(lw - max_lw) : 1.0;
+    sum += lw;
+  }
+  ROBOADS_CHECK(sum > 0.0, "all mode likelihoods vanished");
+  double floored_sum = 0.0;
+  for (double& w : log_w) {
+    w = std::max(w / sum, config_.likelihood_floor);
+    floored_sum += w;
+  }
+  for (std::size_t m = 0; m < modes_.size(); ++m) {
+    weights_[m] = log_w[m] / floored_sum;
+  }
+
+  out.mode_weights = weights_;
+  out.selected_mode = static_cast<std::size_t>(
+      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+
+  // Adopt the winning hypothesis' estimate for the next iteration
+  // (Algorithm 1, line 9).
+  state_ = out.per_mode[out.selected_mode].state;
+  state_cov_ = out.per_mode[out.selected_mode].state_cov;
+  return out;
+}
+
+}  // namespace roboads::core

@@ -1,0 +1,70 @@
+// Multi-mode estimation engine and mode selector (paper §IV-B, §IV-C;
+// Algorithm 1, lines 4-9).
+//
+// The engine maintains one NUISE estimator per mode plus a recursive weight
+// μ_m per mode: μ_m,k = max(N_m,k · μ_m,k−1, ε) followed by normalization.
+// All estimators start each iteration from the shared state estimate of the
+// previously selected mode, exactly as Algorithm 1 threads x̂_{k−1|k−1} into
+// every NUISE call.
+#pragma once
+
+#include <vector>
+
+#include "core/nuise.h"
+
+namespace roboads::core {
+
+struct EngineConfig {
+  // Likelihood floor ε: prevents any mode's weight from collapsing to zero
+  // so the selector can recover when the attacked sensor set changes
+  // (Algorithm 1, line 6). Applied to the *normalized* weight.
+  //
+  // Sizing note: ε also bounds how quickly a *corrupted-reference* mode can
+  // reclaim the selection after the filter absorbs a constant bias into its
+  // state (at which point that hypothesis becomes self-consistent — the
+  // ambiguity §VI's "frequently switching attack targets" discussion
+  // acknowledges). A mode at the floor needs ~log(1/ε)/δ iterations of
+  // per-step log-likelihood advantage δ to overtake; 1e-9 keeps that beyond
+  // mission length for sensors of comparable quality while still allowing
+  // recovery when conditions genuinely change.
+  double likelihood_floor = 1e-9;
+};
+
+struct EngineResult {
+  std::size_t selected_mode = 0;          // Mk
+  std::vector<double> mode_weights;       // normalized μ_m,k
+  std::vector<NuiseResult> per_mode;      // one entry per mode
+  const NuiseResult& selected() const { return per_mode[selected_mode]; }
+};
+
+class MultiModeEngine {
+ public:
+  // `model` and `suite` must outlive the engine.
+  MultiModeEngine(const dyn::DynamicModel& model,
+                  const sensors::SensorSuite& suite, std::vector<Mode> modes,
+                  const Matrix& process_cov, const Vector& x0,
+                  const Matrix& p0, EngineConfig config = {});
+
+  const std::vector<Mode>& modes() const { return modes_; }
+  const Vector& state() const { return state_; }
+  const Matrix& state_cov() const { return state_cov_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // One control iteration: runs every mode's NUISE from the shared previous
+  // estimate, updates weights, selects the max-weight mode, and adopts its
+  // state estimate.
+  EngineResult step(const Vector& u_prev, const Vector& z_full);
+
+  // Resets the shared estimate and uniform weights (e.g. for a new mission).
+  void reset(const Vector& x0, const Matrix& p0);
+
+ private:
+  std::vector<Mode> modes_;
+  std::vector<Nuise> estimators_;
+  EngineConfig config_;
+  Vector state_;
+  Matrix state_cov_;
+  std::vector<double> weights_;  // normalized
+};
+
+}  // namespace roboads::core

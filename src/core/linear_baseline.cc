@@ -1,0 +1,44 @@
+#include "core/linear_baseline.h"
+
+namespace roboads::core {
+
+FrozenLinearModel::FrozenLinearModel(const dyn::DynamicModel& nonlinear,
+                                     const Vector& x0, const Vector& u0)
+    : name_("frozen_" + nonlinear.name()),
+      dt_(nonlinear.dt()),
+      heading_index_(nonlinear.heading_index()),
+      x0_(x0),
+      u0_(u0),
+      f0_(nonlinear.step(x0, u0)),
+      a_(nonlinear.jacobian_state(x0, u0)),
+      g_(nonlinear.jacobian_input(x0, u0)) {}
+
+Vector FrozenLinearModel::step(const Vector& x, const Vector& u) const {
+  ROBOADS_CHECK_EQ(x.size(), state_dim(), "state dimension mismatch");
+  ROBOADS_CHECK_EQ(u.size(), input_dim(), "input dimension mismatch");
+  return f0_ + a_ * (x - x0_) + g_ * (u - u0_);
+}
+
+FrozenLinearSensor::FrozenLinearSensor(sensors::SensorPtr nonlinear,
+                                       const Vector& x0)
+    : inner_(std::move(nonlinear)),
+      x0_(x0),
+      h0_(inner_->measure(x0)),
+      c_(inner_->jacobian(x0)) {}
+
+Vector FrozenLinearSensor::measure(const Vector& x) const {
+  ROBOADS_CHECK_EQ(x.size(), state_dim(), "state dimension mismatch");
+  return h0_ + c_ * (x - x0_);
+}
+
+sensors::SensorSuite freeze_suite(const sensors::SensorSuite& suite,
+                                  const Vector& x0) {
+  std::vector<sensors::SensorPtr> frozen;
+  frozen.reserve(suite.count());
+  for (const sensors::SensorPtr& s : suite.sensors()) {
+    frozen.push_back(std::make_shared<FrozenLinearSensor>(s, x0));
+  }
+  return sensors::SensorSuite(std::move(frozen));
+}
+
+}  // namespace roboads::core

@@ -1,0 +1,83 @@
+#include "core/mode.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace roboads::core {
+namespace {
+
+std::string join_names(const sensors::SensorSuite& suite,
+                       const std::vector<std::size_t>& idx) {
+  std::string out;
+  for (std::size_t i : idx) {
+    if (!out.empty()) out += "+";
+    out += suite.sensor(i).name();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Mode> one_reference_per_sensor(
+    const sensors::SensorSuite& suite) {
+  ROBOADS_CHECK(suite.count() >= 1, "mode set needs at least one sensor");
+  std::vector<Mode> modes;
+  modes.reserve(suite.count());
+  for (std::size_t i = 0; i < suite.count(); ++i) {
+    Mode m;
+    m.reference = {i};
+    m.testing = suite.complement({i});
+    m.label = "ref:" + suite.sensor(i).name();
+    modes.push_back(std::move(m));
+  }
+  return modes;
+}
+
+std::vector<Mode> complete_mode_set(const sensors::SensorSuite& suite) {
+  const std::size_t p = suite.count();
+  ROBOADS_CHECK(p >= 1 && p <= 16, "complete mode set needs 1..16 sensors");
+  std::vector<Mode> modes;
+  for (std::size_t bits = 1; bits < (std::size_t{1} << p); ++bits) {
+    Mode m;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (bits & (std::size_t{1} << i)) {
+        m.reference.push_back(i);
+      } else {
+        m.testing.push_back(i);
+      }
+    }
+    m.label = "ref:" + join_names(suite, m.reference);
+    modes.push_back(std::move(m));
+  }
+  return modes;
+}
+
+void validate_modes(const std::vector<Mode>& modes,
+                    const sensors::SensorSuite& suite) {
+  ROBOADS_CHECK(!modes.empty(), "mode set must be non-empty");
+  for (const Mode& m : modes) {
+    ROBOADS_CHECK(!m.reference.empty(),
+                  "mode '" + m.label + "' has no reference sensors");
+    std::vector<bool> seen(suite.count(), false);
+    auto mark = [&](const std::vector<std::size_t>& idx) {
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        ROBOADS_CHECK(idx[i] < suite.count(),
+                      "mode '" + m.label + "' index out of range");
+        ROBOADS_CHECK(!seen[idx[i]],
+                      "mode '" + m.label + "' repeats a sensor");
+        if (i > 0)
+          ROBOADS_CHECK(idx[i - 1] < idx[i],
+                        "mode '" + m.label + "' indices must be sorted");
+        seen[idx[i]] = true;
+      }
+    };
+    mark(m.reference);
+    mark(m.testing);
+    ROBOADS_CHECK(
+        std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }),
+        "mode '" + m.label + "' does not cover every sensor");
+  }
+}
+
+}  // namespace roboads::core

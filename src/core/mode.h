@@ -1,0 +1,40 @@
+// Sensor-condition hypotheses ("modes", paper §IV-B).
+//
+// Each mode hypothesizes that a particular group of sensors — the
+// *reference* sensors — is clean while all remaining sensors — the *testing*
+// sensors — are potentially corrupted. One NUISE estimator runs per mode;
+// the mode selector picks the hypothesis best supported by the innovations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sensors/sensor_model.h"
+
+namespace roboads::core {
+
+struct Mode {
+  std::string label;
+  // Suite indices of the sensors assumed clean, strictly increasing.
+  std::vector<std::size_t> reference;
+  // Suite indices of the sensors under test, strictly increasing.
+  std::vector<std::size_t> testing;
+};
+
+// The paper's default mode set: one mode per sensor, with that single sensor
+// as the reference and all others testing ("we select modes that have only
+// one reference sensor ... the number of modes M grows linearly with the
+// number of sensors", §IV-B/§VI).
+std::vector<Mode> one_reference_per_sensor(const sensors::SensorSuite& suite);
+
+// The complete mode set of §VI: every non-empty reference group, i.e. every
+// sensor condition except "all corrupted" — M_complete = 2^p − 1 hypotheses.
+// Exposed for the mode-set ablation bench.
+std::vector<Mode> complete_mode_set(const sensors::SensorSuite& suite);
+
+// Validates a custom mode set against the suite: reference and testing must
+// partition the sensors, reference non-empty, indices sorted and in range.
+void validate_modes(const std::vector<Mode>& modes,
+                    const sensors::SensorSuite& suite);
+
+}  // namespace roboads::core

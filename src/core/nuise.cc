@@ -1,0 +1,160 @@
+#include "core/nuise.h"
+
+#include <algorithm>
+
+#include "matrix/decomp.h"
+#include "stats/gaussian.h"
+
+namespace roboads::core {
+
+Nuise::Nuise(const dyn::DynamicModel& model,
+             const sensors::SensorSuite& suite, Mode mode, Matrix process_cov)
+    : model_(model),
+      suite_(suite),
+      mode_(std::move(mode)),
+      process_cov_(std::move(process_cov)) {
+  validate_modes({mode_}, suite_);
+  ROBOADS_CHECK(process_cov_.rows() == model_.state_dim() &&
+                    process_cov_.cols() == model_.state_dim(),
+                "process covariance shape mismatch");
+  ROBOADS_CHECK(process_cov_.is_symmetric(1e-8),
+                "process covariance must be symmetric");
+  if (suite_.count() > 0) {
+    ROBOADS_CHECK_EQ(suite_.sensor(0).state_dim(), model_.state_dim(),
+                     "suite and model disagree on state dimension");
+  }
+}
+
+NuiseResult Nuise::step(const Vector& x_prev, const Matrix& p_prev,
+                        const Vector& u_prev, const Vector& z_full) const {
+  const std::size_t n = model_.state_dim();
+  const std::size_t q = model_.input_dim();
+  ROBOADS_CHECK_EQ(x_prev.size(), n, "previous state size mismatch");
+  ROBOADS_CHECK(p_prev.rows() == n && p_prev.cols() == n,
+                "previous covariance shape mismatch");
+  ROBOADS_CHECK_EQ(u_prev.size(), q, "control size mismatch");
+
+  const auto& ref = mode_.reference;
+  const auto& tst = mode_.testing;
+
+  const Matrix a = model_.jacobian_state(x_prev, u_prev);
+  const Matrix g = model_.jacobian_input(x_prev, u_prev);
+  const Matrix& qc = process_cov_;
+
+  // --- Step 1: actuator anomaly estimation (lines 2-6). ---
+  // Linearize h₂ at the uncompensated prediction f(x̂, u).
+  const Vector x_bare = model_.step(x_prev, u_prev);
+  const Matrix c2 = suite_.jacobian(ref, x_bare);
+  const Matrix r2 = suite_.noise_covariance(ref);
+  const Vector z2 = suite_.slice(ref, z_full);
+
+  const Matrix p_tilde = (a * p_prev * a.transpose() + qc).symmetrized();
+  const Matrix r_star =
+      (c2 * p_tilde * c2.transpose() + r2).symmetrized();
+  const Matrix r_star_inv = inverse_spd(r_star);
+
+  const Matrix f = c2 * g;  // how the input shows in the reference readings
+  const Matrix ft_rinv = f.transpose() * r_star_inv;
+  const Matrix gram = (ft_rinv * f).symmetrized();
+
+  NuiseResult out;
+  out.actuator_identifiable = rank(gram) == q;
+  // Eigen-thresholded pseudo-inverse: when the reference group
+  // under-determines the input, this yields the minimum-norm estimate
+  // instead of amplifying a numerically-tiny pivot.
+  const Matrix gram_inv = spd_pseudo_inverse(gram);
+  const Matrix m2 = gram_inv * ft_rinv;
+
+  const Vector resid_bare = suite_.residual(ref, z2, x_bare);
+  out.actuator_anomaly = m2 * resid_bare;
+  out.actuator_anomaly_cov =
+      (m2 * r_star * m2.transpose()).symmetrized();
+
+  // --- Step 2: state prediction with compensation (lines 7-10). ---
+  // The compensated input is clamped to the actuator's physical range: an
+  // executed command cannot lie outside it, and extrapolating the nonlinear
+  // kinematics past it (e.g. tan of an unobservable steering estimate at
+  // standstill) would destabilize the shared state estimate.
+  // The compensation uses a shrunk estimate: the MAP of d̂ᵃ under a
+  // zero-mean Gaussian prior whose scale is the model's linearization trust
+  // radius. Where the estimate is sharp (Pᵃ ≪ trust²) this is full
+  // compensation; where the innovation geometry makes d̂ᵃ noisy (e.g.
+  // near-collinear speed/steering columns in a hard turn) the noise is
+  // suppressed instead of extrapolating tan-type nonlinearities with it and
+  // poisoning the shared state. Only the compensation is shrunk — the
+  // reported estimate and its χ² statistic stay untouched.
+  const Vector sat = model_.input_saturation();
+  const Vector trust = model_.input_trust_radius();
+  Vector trust_var(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    trust_var[i] = std::min(trust[i] * trust[i], 1e12);
+  }
+  const Matrix t_prior = Matrix::diagonal(trust_var);
+  const Vector delta =
+      t_prior *
+      (spd_pseudo_inverse(
+           (out.actuator_anomaly_cov + t_prior).symmetrized()) *
+       out.actuator_anomaly);
+  Vector u_comp = u_prev;
+  for (std::size_t i = 0; i < q; ++i) {
+    const double step_i = std::clamp(delta[i], -3.0 * trust[i],
+                                     3.0 * trust[i]);
+    u_comp[i] = std::clamp(u_prev[i] + step_i, -sat[i], sat[i]);
+  }
+  const Vector x_pred = model_.step(x_prev, u_comp);
+  const Matrix i_n = Matrix::identity(n);
+  const Matrix gm2 = g * m2;
+  const Matrix proj = i_n - gm2 * c2;  // (I − G M₂ C₂)
+  const Matrix a_bar = proj * a;
+  const Matrix q_bar = (proj * qc * proj.transpose() +
+                        gm2 * r2 * gm2.transpose())
+                           .symmetrized();
+  const Matrix p_pred =
+      (a_bar * p_prev * a_bar.transpose() + q_bar).symmetrized();
+
+  // --- Step 3: state estimation (lines 11-14). ---
+  // Relinearize h₂ at the compensated prediction.
+  const Matrix c2p = suite_.jacobian(ref, x_pred);
+  // Cross-covariance Ū = E[(x_k − x̂_{k|k−1}) ξ₂ᵀ] = −G M₂ R₂.
+  const Matrix u_cross = -(gm2 * r2);
+  const Matrix innov_cov = (c2p * p_pred * c2p.transpose() + r2 +
+                            c2p * u_cross +
+                            (c2p * u_cross).transpose())
+                               .symmetrized();
+  // The innovation covariance is *structurally* rank-deficient: the d̂ᵃ
+  // compensation consumes q degrees of freedom of the reference innovation
+  // (this is why line 20 of Algorithm 2 is written with pseudo-inverse and
+  // pseudo-determinant). Invert on its support only.
+  const Matrix gain = (p_pred * c2p.transpose() + u_cross) *
+                      spd_pseudo_inverse(innov_cov);
+
+  const Vector innovation = suite_.residual(ref, z2, x_pred);
+  out.state = x_pred + gain * innovation;
+
+  // Generalized Joseph form: exact for any gain, keeps Pˣ symmetric PSD.
+  const Matrix ilc = i_n - gain * c2p;
+  out.state_cov = (ilc * p_pred * ilc.transpose() +
+                   gain * r2 * gain.transpose() -
+                   ilc * u_cross * gain.transpose() -
+                   gain * u_cross.transpose() * ilc.transpose())
+                      .symmetrized();
+
+  // --- Step 4: testing-sensor anomaly estimation (lines 15-16). ---
+  if (!tst.empty()) {
+    const Vector z1 = suite_.slice(tst, z_full);
+    out.sensor_anomaly = suite_.residual(tst, z1, out.state);
+    const Matrix c1 = suite_.jacobian(tst, out.state);
+    const Matrix r1 = suite_.noise_covariance(tst);
+    out.sensor_anomaly_cov =
+        (c1 * out.state_cov * c1.transpose() + r1).symmetrized();
+  }
+
+  // --- Mode likelihood (lines 17-20). ---
+  out.innovation = innovation;
+  out.innovation_cov = innov_cov;
+  out.log_likelihood =
+      stats::degenerate_gaussian_log_pdf(innovation, innov_cov);
+  return out;
+}
+
+}  // namespace roboads::core

@@ -1,0 +1,70 @@
+// NUISE — Nonlinear Unknown Input and State Estimation (paper Algorithm 2).
+//
+// One NUISE instance serves one mode: given the previous state estimate, the
+// planned control commands, and the current readings, it produces
+//
+//   1. the actuator anomaly estimate d̂ᵃ_{k−1} from reference-sensor
+//      innovations against the uncompensated prediction,
+//   2. the state prediction using the *compensated* input u + d̂ᵃ, with
+//      covariance propagation that accounts for the estimation of d̂ᵃ,
+//   3. the minimum-variance state update from the reference sensors,
+//      including the input-estimate / measurement-noise cross-correlation,
+//   4. the testing-sensor anomaly estimate d̂ˢ_k = z₁ − h₁(x̂_{k|k}),
+//
+// plus the mode log-likelihood from the innovation under the degenerate
+// Gaussian (pseudo-inverse / pseudo-determinant) density of line 20.
+//
+// Sign convention: the printed DSN algorithm carries inconsistent signs on
+// the cross-covariance terms between lines 11–12 and 14/18 (an artifact of
+// the proceedings text). We implement the re-derived filter with
+// Ū := E[(x_k − x̂_{k|k−1}) ξ₂ᵀ] = −G M₂ R₂ used consistently; see
+// DESIGN.md §1 for the derivation. The covariance update uses the
+// generalized Joseph form, exact for any gain.
+#pragma once
+
+#include "core/mode.h"
+#include "dynamics/model.h"
+#include "matrix/matrix.h"
+#include "sensors/sensor_model.h"
+
+namespace roboads::core {
+
+struct NuiseResult {
+  Vector state;                  // x̂_{k|k}
+  Matrix state_cov;              // Pˣ_k
+  Vector actuator_anomaly;       // d̂ᵃ_{k−1}
+  Matrix actuator_anomaly_cov;   // Pᵃ_{k−1}
+  Vector sensor_anomaly;         // d̂ˢ_k stacked over the mode's testing
+                                 // sensors (empty when none)
+  Matrix sensor_anomaly_cov;     // Pˢ_k for the stacked vector
+  Vector innovation;             // ν_k = z₂ − h₂(x̂_{k|k−1}), wrapped angles
+  Matrix innovation_cov;         // P_{k|k−1} (line 18)
+  double log_likelihood = 0.0;   // log N_k (line 20)
+  // False when the reference group cannot distinguish the actuator input
+  // (C₂G column-rank deficient); d̂ᵃ is then the minimum-norm estimate.
+  bool actuator_identifiable = true;
+};
+
+class Nuise {
+ public:
+  // `model` and `suite` must outlive the estimator. `process_cov` is the
+  // kinematic noise covariance Q (state_dim x state_dim).
+  Nuise(const dyn::DynamicModel& model, const sensors::SensorSuite& suite,
+        Mode mode, Matrix process_cov);
+
+  const Mode& mode() const { return mode_; }
+
+  // One estimation iteration. `x_prev`/`p_prev` are x̂_{k−1|k−1} and
+  // Pˣ_{k−1}; `u_prev` the planned commands u_{k−1}; `z_full` the full
+  // stacked readings z_k (suite layout).
+  NuiseResult step(const Vector& x_prev, const Matrix& p_prev,
+                   const Vector& u_prev, const Vector& z_full) const;
+
+ private:
+  const dyn::DynamicModel& model_;
+  const sensors::SensorSuite& suite_;
+  Mode mode_;
+  Matrix process_cov_;
+};
+
+}  // namespace roboads::core

@@ -1,0 +1,83 @@
+#include "core/observability.h"
+
+#include "matrix/decomp.h"
+
+namespace roboads::core {
+
+ModeDiagnostics diagnose_mode(const dyn::DynamicModel& model,
+                              const sensors::SensorSuite& suite,
+                              const Mode& mode, const Vector& x,
+                              const Vector& u, std::size_t horizon) {
+  validate_modes({mode}, suite);
+  const std::size_t n = model.state_dim();
+  const std::size_t q = model.input_dim();
+  if (horizon == 0) horizon = n;
+
+  ModeDiagnostics out;
+  out.mode_label = mode.label;
+
+  const Matrix a = model.jacobian_state(x, u);
+  const Matrix g = model.jacobian_input(x, u);
+  const Matrix c2 = suite.jacobian(mode.reference, x);
+
+  // Local observability matrix [C; CA; CA²; ...].
+  Matrix obs;
+  Matrix a_power = Matrix::identity(n);
+  for (std::size_t i = 0; i < horizon; ++i) {
+    obs = obs.vstack(c2 * a_power);
+    a_power = a_power * a;
+  }
+  out.observability_rank = rank(obs);
+  out.observable = out.observability_rank == n;
+
+  // Noise-whitened input visibility: R₂^{-1/2} C₂ G. Whitening by the
+  // measurement noise makes the conditioning number meaningful across
+  // heterogeneous sensors.
+  const Matrix r2 = suite.noise_covariance(mode.reference);
+  Cholesky chol(r2);
+  Matrix f = c2 * g;
+  if (chol.ok()) {
+    // Solve L W = F for W = L⁻¹ F (the whitened visibility matrix).
+    Matrix w(f.rows(), f.cols());
+    for (std::size_t j = 0; j < f.cols(); ++j) {
+      // Forward substitution against the Cholesky factor.
+      Vector col = f.col(j);
+      const Matrix& l = chol.l();
+      Vector y(col.size());
+      for (std::size_t i = 0; i < col.size(); ++i) {
+        double acc = col[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+        y[i] = acc / l(i, i);
+      }
+      for (std::size_t i = 0; i < col.size(); ++i) w(i, j) = y[i];
+    }
+    f = w;
+  }
+  const Svd s = svd(f);
+  out.input_rank = rank(f);
+  out.input_identifiable = out.input_rank == q;
+  const double smax = s.sigma.size() ? s.sigma[0] : 0.0;
+  const double smin = s.sigma.size() ? s.sigma[s.sigma.size() - 1] : 0.0;
+  out.input_conditioning = smax > 0.0 ? smin / smax : 0.0;
+  return out;
+}
+
+std::vector<ModeDiagnostics> diagnose_modes(
+    const dyn::DynamicModel& model, const sensors::SensorSuite& suite,
+    const std::vector<Mode>& modes, const Vector& x, const Vector& u,
+    bool throw_on_unobservable) {
+  std::vector<ModeDiagnostics> out;
+  out.reserve(modes.size());
+  for (const Mode& m : modes) {
+    out.push_back(diagnose_mode(model, suite, m, x, u));
+    if (throw_on_unobservable) {
+      ROBOADS_CHECK(out.back().observable,
+                    "mode '" + m.label +
+                        "' cannot reconstruct the state from its "
+                        "reference sensors (see §VI)");
+    }
+  }
+  return out;
+}
+
+}  // namespace roboads::core

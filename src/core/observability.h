@@ -1,0 +1,53 @@
+// Observability and input-identifiability diagnostics (paper §VI "sensor
+// capabilities" and "mode set selection", made executable).
+//
+// NUISE places two structural requirements on every mode:
+//
+//   1. the reference group must make the state observable — "a requirement
+//     is that the reference sensors can reconstruct states";
+//   2. the input must be identifiable through the reference group in one
+//     step: C₂G must have full column rank, and be well-conditioned enough
+//     that the d̂ᵃ estimate is usable.
+//
+// These checks run at configuration time (typical operating points) so that
+// a designer learns *before* deployment that e.g. a magnetometer-only
+// reference cannot reconstruct position, or that a pose-only reference
+// cannot separate speed from steering anomalies on a car mid-turn.
+#pragma once
+
+#include "core/mode.h"
+#include "dynamics/model.h"
+#include "matrix/matrix.h"
+
+namespace roboads::core {
+
+struct ModeDiagnostics {
+  std::string mode_label;
+  // Rank of the N-step local observability matrix [C; CA; ...]; the state
+  // is locally observable through the reference group iff this equals n.
+  std::size_t observability_rank = 0;
+  bool observable = false;
+  // Rank of C₂G: the input directions visible in one step.
+  std::size_t input_rank = 0;
+  bool input_identifiable = false;
+  // Conditioning of the identification: σ_min/σ_max of the noise-whitened
+  // C₂G. Near-zero means some input direction is visible only through a
+  // nearly-degenerate combination (e.g. speed vs steering in a hard turn).
+  double input_conditioning = 0.0;
+};
+
+// Diagnoses one mode at one operating point (x, u).
+ModeDiagnostics diagnose_mode(const dyn::DynamicModel& model,
+                              const sensors::SensorSuite& suite,
+                              const Mode& mode, const Vector& x,
+                              const Vector& u,
+                              std::size_t horizon = 0 /* 0 = state_dim */);
+
+// Diagnoses every mode; `throw_on_unobservable` turns configuration errors
+// into hard failures for deployment-time validation.
+std::vector<ModeDiagnostics> diagnose_modes(
+    const dyn::DynamicModel& model, const sensors::SensorSuite& suite,
+    const std::vector<Mode>& modes, const Vector& x, const Vector& u,
+    bool throw_on_unobservable = false);
+
+}  // namespace roboads::core

@@ -1,0 +1,57 @@
+#include "core/roboads.h"
+
+namespace roboads::core {
+namespace {
+
+std::vector<Mode> default_modes(const sensors::SensorSuite& suite,
+                                std::vector<Mode> modes) {
+  if (modes.empty()) return one_reference_per_sensor(suite);
+  return modes;
+}
+
+}  // namespace
+
+RoboAds::RoboAds(const dyn::DynamicModel& model,
+                 const sensors::SensorSuite& suite, const Matrix& process_cov,
+                 const Vector& x0, const Matrix& p0, RoboAdsConfig config,
+                 std::vector<Mode> modes)
+    : suite_(suite),
+      engine_(model, suite, default_modes(suite, std::move(modes)),
+              process_cov, x0, p0, config.engine),
+      decision_maker_(suite, config.decision) {}
+
+void RoboAds::reset(const Vector& x0, const Matrix& p0) {
+  engine_.reset(x0, p0);
+  decision_maker_.reset();
+  iteration_ = 0;
+}
+
+DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full) {
+  const EngineResult engine_result = engine_.step(u_prev, z_full);
+  const Mode& mode = engine_.modes()[engine_result.selected_mode];
+  const NuiseResult& selected = engine_result.selected();
+
+  DetectionReport report;
+  report.iteration = ++iteration_;
+  report.selected_mode = engine_result.selected_mode;
+  report.selected_mode_label = mode.label;
+  report.mode_weights = engine_result.mode_weights;
+  report.state_estimate = selected.state;
+  report.state_covariance = selected.state_cov;
+  report.decision = decision_maker_.evaluate(mode, selected);
+  report.selected_result = selected;
+  report.actuator_anomaly = selected.actuator_anomaly;
+
+  // Split the stacked testing-sensor anomaly back out by suite sensor.
+  report.sensor_anomaly_by_sensor.resize(suite_.count());
+  std::size_t at = 0;
+  for (std::size_t t : mode.testing) {
+    const std::size_t dim = suite_.sensor(t).dim();
+    report.sensor_anomaly_by_sensor[t] =
+        selected.sensor_anomaly.segment(at, dim);
+    at += dim;
+  }
+  return report;
+}
+
+}  // namespace roboads::core

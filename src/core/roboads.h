@@ -1,0 +1,71 @@
+// RoboADS — the complete anomaly detection system (paper Algorithm 1).
+//
+// Ties together the monitor (command/reading intake), the multi-mode NUISE
+// estimation engine, the mode selector, and the χ²/sliding-window decision
+// maker. One `step()` call per control iteration returns everything the
+// planner — and the paper's Fig. 6 — needs: alarms, attributed sensors,
+// anomaly quantification, mode weights, and raw test statistics.
+#pragma once
+
+#include <optional>
+
+#include "core/decision.h"
+#include "core/engine.h"
+
+namespace roboads::core {
+
+struct RoboAdsConfig {
+  EngineConfig engine;
+  DecisionConfig decision;
+};
+
+// Everything RoboADS reports for one control iteration.
+struct DetectionReport {
+  std::size_t iteration = 0;
+  std::size_t selected_mode = 0;
+  std::string selected_mode_label;
+  std::vector<double> mode_weights;
+
+  Vector state_estimate;     // x̂_{k|k} of the selected mode
+  Matrix state_covariance;
+
+  Decision decision;         // alarms, statistics, attribution
+
+  // Raw NUISE outputs of the selected mode. Kept so offline sweeps (the
+  // Fig. 7 decision-parameter study) can replay a DecisionMaker with
+  // different α / c / w settings without re-running the estimation.
+  NuiseResult selected_result;
+
+  // Anomaly quantification (for forensics, §III-C): d̂ˢ per suite sensor
+  // (empty vector when the sensor was the reference of the selected mode)
+  // and d̂ᵃ for the actuators.
+  std::vector<Vector> sensor_anomaly_by_sensor;
+  Vector actuator_anomaly;
+};
+
+class RoboAds {
+ public:
+  // `model` and `suite` must outlive the detector. `modes` defaults to the
+  // one-reference-per-sensor set when empty.
+  RoboAds(const dyn::DynamicModel& model, const sensors::SensorSuite& suite,
+          const Matrix& process_cov, const Vector& x0, const Matrix& p0,
+          RoboAdsConfig config = {}, std::vector<Mode> modes = {});
+
+  const std::vector<Mode>& modes() const { return engine_.modes(); }
+  const Vector& state_estimate() const { return engine_.state(); }
+
+  // One control iteration: planned commands u_{k−1} and the full stacked
+  // sensor readings z_k (monitor intake, Algorithm 1 lines 2-3).
+  DetectionReport step(const Vector& u_prev, const Vector& z_full);
+
+  // Restarts estimation for a new mission.
+  void reset(const Vector& x0, const Matrix& p0);
+
+ private:
+  const sensors::SensorSuite& suite_;
+  MultiModeEngine engine_;
+  DecisionMaker decision_maker_;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace roboads::core

@@ -1,0 +1,51 @@
+#include "dynamics/diff_drive.h"
+
+#include <cmath>
+
+namespace roboads::dyn {
+
+DiffDrive::DiffDrive(const DiffDriveParams& params) : params_(params) {
+  ROBOADS_CHECK(params_.axle_length > 0.0, "axle length must be positive");
+  ROBOADS_CHECK(params_.dt > 0.0, "dt must be positive");
+}
+
+Vector DiffDrive::step(const Vector& x, const Vector& u) const {
+  check_dims(x, u);
+  const double b = params_.axle_length;
+  const double dt = params_.dt;
+  const double v = 0.5 * (u[0] + u[1]);
+  const double omega = (u[1] - u[0]) / b;
+  const double theta_mid = x[2] + 0.5 * omega * dt;
+  return Vector{x[0] + v * dt * std::cos(theta_mid),
+                x[1] + v * dt * std::sin(theta_mid),
+                x[2] + omega * dt};
+}
+
+Matrix DiffDrive::jacobian_state(const Vector& x, const Vector& u) const {
+  check_dims(x, u);
+  const double b = params_.axle_length;
+  const double dt = params_.dt;
+  const double v = 0.5 * (u[0] + u[1]);
+  const double omega = (u[1] - u[0]) / b;
+  const double theta_mid = x[2] + 0.5 * omega * dt;
+  return Matrix{{1.0, 0.0, -v * dt * std::sin(theta_mid)},
+                {0.0, 1.0, v * dt * std::cos(theta_mid)},
+                {0.0, 0.0, 1.0}};
+}
+
+Matrix DiffDrive::jacobian_input(const Vector& x, const Vector& u) const {
+  check_dims(x, u);
+  const double b = params_.axle_length;
+  const double dt = params_.dt;
+  const double v = 0.5 * (u[0] + u[1]);
+  const double theta_mid = x[2] + 0.5 * (u[1] - u[0]) / b * dt;
+  const double c = std::cos(theta_mid);
+  const double s = std::sin(theta_mid);
+  // ∂v/∂u = (1/2, 1/2); ∂ω/∂u = (−1/b, 1/b); ∂θ_mid/∂u = Δt/2 · ∂ω/∂u.
+  const double arc = v * dt * dt / (2.0 * b);
+  return Matrix{{0.5 * dt * c + arc * s, 0.5 * dt * c - arc * s},
+                {0.5 * dt * s - arc * c, 0.5 * dt * s + arc * c},
+                {-dt / b, dt / b}};
+}
+
+}  // namespace roboads::dyn

@@ -1,0 +1,31 @@
+// Central-difference numerical Jacobians, used by tests to validate every
+// analytic Jacobian in the library and by the linear-baseline comparator.
+#pragma once
+
+#include <functional>
+
+#include "matrix/matrix.h"
+
+namespace roboads::dyn {
+
+// Jacobian of `fn` at `x` by central differences with per-component step
+// h = eps * max(1, |x_i|).
+inline Matrix numerical_jacobian(
+    const std::function<Vector(const Vector&)>& fn, const Vector& x,
+    double eps = 1e-6) {
+  const Vector f0 = fn(x);
+  Matrix jac(f0.size(), x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double h = eps * std::max(1.0, std::abs(x[j]));
+    Vector xp = x, xm = x;
+    xp[j] += h;
+    xm[j] -= h;
+    const Vector fp = fn(xp);
+    const Vector fm = fn(xm);
+    for (std::size_t i = 0; i < f0.size(); ++i)
+      jac(i, j) = (fp[i] - fm[i]) / (2.0 * h);
+  }
+  return jac;
+}
+
+}  // namespace roboads::dyn

@@ -1,0 +1,86 @@
+#include "eval/mission.h"
+
+#include "eval/recovery.h"
+
+namespace roboads::eval {
+
+MissionResult run_mission(const Platform& platform,
+                          const attacks::Scenario& scenario,
+                          const MissionConfig& config) {
+  Rng rng(config.seed);
+  const dyn::DynamicModel& model = platform.model();
+  const sensors::SensorSuite& suite = platform.suite();
+
+  sim::SensingStack sensing = platform.make_sensing(scenario);
+  sim::ActuationWorkflow actuation = platform.make_actuation(scenario);
+  sim::RobotSimulator simulator(model, platform.process_cov(),
+                                platform.initial_state(), &platform.world(),
+                                platform.robot_radius());
+  std::unique_ptr<Controller> controller = platform.make_controller(rng);
+  if (config.resilient_control) {
+    controller = std::make_unique<ResilientController>(std::move(controller),
+                                                       suite);
+  }
+
+  const core::RoboAdsConfig detector_config =
+      config.detector_override.value_or(platform.detector_config());
+  const Matrix p0 = Matrix::identity(model.state_dim()) * 1e-4;
+
+  // §V-G baseline: freeze the linearization at the mission start. The
+  // *simulation* stays fully nonlinear either way — only the detector's
+  // model of the robot changes.
+  std::unique_ptr<core::FrozenLinearModel> frozen_model;
+  std::unique_ptr<sensors::SensorSuite> frozen_suite;
+  if (config.linear_baseline) {
+    frozen_model = std::make_unique<core::FrozenLinearModel>(
+        model, platform.initial_state(), Vector(model.input_dim()));
+    frozen_suite = std::make_unique<sensors::SensorSuite>(
+        core::freeze_suite(suite, platform.initial_state()));
+  }
+  const dyn::DynamicModel& detector_model =
+      config.linear_baseline ? *frozen_model : model;
+  const sensors::SensorSuite& detector_suite =
+      config.linear_baseline ? *frozen_suite : suite;
+
+  core::RoboAds detector(detector_model, detector_suite,
+                         platform.process_cov(), platform.initial_state(), p0,
+                         detector_config, platform.detector_modes());
+
+  MissionResult result;
+  result.dt = model.dt();
+  result.records.reserve(config.iterations);
+
+  // Initial readings before the first command (k = 0 is attack-free in all
+  // bundled scenarios; the controller needs a pose to start from).
+  Vector z = sensing.sense_all(0, simulator.state(), rng);
+
+  for (std::size_t k = 1; k <= config.iterations; ++k) {
+    IterationRecord rec;
+    rec.k = k;
+    rec.u_planned = controller->control(z);
+    rec.u_executed = actuation.execute(k, rec.u_planned);
+    simulator.step(rec.u_executed, rng);
+    rec.x_true = simulator.state();
+    rec.collided = simulator.collided();
+    z = sensing.sense_all(k, simulator.state(), rng);
+    rec.z = z;
+    rec.report = detector.step(rec.u_planned, z);
+    controller->observe(rec.report);
+    rec.truth = scenario.truth_at(k, suite);
+    if (rec.truth.actuator_corrupted &&
+        (rec.u_executed - rec.u_planned).norm_inf() <
+            platform.actuator_significance()) {
+      rec.truth.actuator_corrupted = false;
+    }
+    if (rec.collided) rec.truth.actuator_corrupted = true;
+    result.records.push_back(std::move(rec));
+    if (controller->finished()) break;
+  }
+
+  const Vector final_state = simulator.state();
+  result.goal_reached =
+      geom::distance({final_state[0], final_state[1]}, platform.goal()) < 0.2;
+  return result;
+}
+
+}  // namespace roboads::eval

@@ -1,0 +1,54 @@
+// Mission runner: executes the paper's evaluation loop — RRT* plan, PID
+// tracking, scenario-driven misbehavior injection, RoboADS detection — and
+// records everything needed for scoring and for regenerating the paper's
+// tables and figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/linear_baseline.h"
+#include "eval/platform.h"
+
+namespace roboads::eval {
+
+struct MissionConfig {
+  std::size_t iterations = 250;
+  std::uint64_t seed = 1;
+  // Overrides the platform's detector configuration when set.
+  std::optional<core::RoboAdsConfig> detector_override;
+  // §V-G comparator: run the detector on models linearized once at mission
+  // start instead of relinearizing every iteration.
+  bool linear_baseline = false;
+  // Future-work extension (§VII): wrap the mission controller in the
+  // detection-response layer of eval/recovery.h, which substitutes
+  // confirmed-misbehaving sensor readings with the detector's state
+  // estimate.
+  bool resilient_control = false;
+};
+
+struct IterationRecord {
+  std::size_t k = 0;           // 1-based control iteration
+  Vector x_true;               // simulator ground truth after the step
+  Vector u_planned;            // planner output
+  Vector u_executed;           // after actuator corruption
+  Vector z;                    // stacked readings delivered to the planner
+  bool collided = false;       // wall/obstacle contact during the step
+  core::DetectionReport report;
+  // Scenario ground truth at k; wall contact is folded into the actuator
+  // condition (executed motion ≠ commands, the "tire blowout" class).
+  attacks::GroundTruth truth;
+};
+
+struct MissionResult {
+  std::vector<IterationRecord> records;
+  bool goal_reached = false;
+  double dt = 0.0;  // control period, for converting delays to seconds
+};
+
+// Runs one mission of `scenario` on `platform`. Deterministic per seed.
+MissionResult run_mission(const Platform& platform,
+                          const attacks::Scenario& scenario,
+                          const MissionConfig& config);
+
+}  // namespace roboads::eval

@@ -1,0 +1,16 @@
+#include "eval/platform.h"
+
+namespace roboads::eval {
+
+std::string Platform::condition_name(
+    const std::vector<std::size_t>& corrupted_sensors) const {
+  if (corrupted_sensors.empty()) return "S0";
+  std::string out = "S{";
+  for (std::size_t i = 0; i < corrupted_sensors.size(); ++i) {
+    if (i) out += ",";
+    out += suite().sensor(corrupted_sensors[i]).name();
+  }
+  return out + "}";
+}
+
+}  // namespace roboads::eval

@@ -1,0 +1,34 @@
+#include "eval/recovery.h"
+
+namespace roboads::eval {
+
+ResilientController::ResilientController(std::unique_ptr<Controller> inner,
+                                         const sensors::SensorSuite& suite)
+    : inner_(std::move(inner)), suite_(suite) {
+  ROBOADS_CHECK(inner_ != nullptr, "null inner controller");
+}
+
+void ResilientController::observe(const core::DetectionReport& report) {
+  last_report_ = report;
+}
+
+Vector ResilientController::control(const Vector& z_full) {
+  if (!last_report_ || !last_report_->decision.sensor_alarm) {
+    return inner_->control(z_full);
+  }
+  Vector sanitized = z_full;
+  bool substituted = false;
+  for (std::size_t s : last_report_->decision.misbehaving_sensors) {
+    // Replace the flagged block with the expected reading at the detector's
+    // state estimate (the clean reconstruction of what the sensor should
+    // have reported).
+    sanitized.set_segment(
+        suite_.offset(s),
+        suite_.sensor(s).measure(last_report_->state_estimate));
+    substituted = true;
+  }
+  if (substituted) ++substitutions_;
+  return inner_->control(sanitized);
+}
+
+}  // namespace roboads::eval

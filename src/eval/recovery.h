@@ -1,0 +1,37 @@
+// Detection response (the paper's §VII future work: "designing
+// computationally efficient response algorithms"): once RoboADS confirms a
+// sensing workflow as misbehaving, the mission controller stops consuming
+// that workflow's readings and substitutes the detector's own state
+// estimate — which NUISE keeps clean because the corrupted sensor is, by
+// construction of the selected mode, not among the reference sensors.
+#pragma once
+
+#include <memory>
+
+#include "eval/platform.h"
+
+namespace roboads::eval {
+
+// Wraps any mission controller. Readings from confirmed-misbehaving sensors
+// are replaced by the measurement model evaluated at the detector's state
+// estimate before the inner controller sees them.
+class ResilientController final : public Controller {
+ public:
+  ResilientController(std::unique_ptr<Controller> inner,
+                      const sensors::SensorSuite& suite);
+
+  Vector control(const Vector& z_full) override;
+  bool finished() const override { return inner_->finished(); }
+  void observe(const core::DetectionReport& report) override;
+
+  // Iterations on which at least one sensor block was substituted.
+  std::size_t substitutions() const { return substitutions_; }
+
+ private:
+  std::unique_ptr<Controller> inner_;
+  const sensors::SensorSuite& suite_;
+  std::optional<core::DetectionReport> last_report_;
+  std::size_t substitutions_ = 0;
+};
+
+}  // namespace roboads::eval

@@ -1,0 +1,74 @@
+#include "eval/trace_io.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace roboads::eval {
+namespace {
+
+void write_vector(std::ostream& os, const Vector& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) os << "," << v[i];
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const MissionResult& result,
+                     const Platform& platform) {
+  ROBOADS_CHECK(!result.records.empty(), "cannot export an empty mission");
+  const sensors::SensorSuite& suite = platform.suite();
+  const IterationRecord& first = result.records.front();
+
+  // Header.
+  os << "t";
+  for (std::size_t i = 0; i < first.x_true.size(); ++i) os << ",x_true_" << i;
+  for (std::size_t i = 0; i < first.u_planned.size(); ++i)
+    os << ",u_planned_" << i;
+  for (std::size_t i = 0; i < first.u_executed.size(); ++i)
+    os << ",u_executed_" << i;
+  for (std::size_t i = 0; i < first.report.state_estimate.size(); ++i)
+    os << ",x_hat_" << i;
+  os << ",selected_mode,sensor_stat,sensor_thresh,sensor_alarm,act_stat,"
+        "act_thresh,act_alarm";
+  for (std::size_t s = 0; s < suite.count(); ++s) {
+    for (std::size_t i = 0; i < suite.sensor(s).dim(); ++i) {
+      os << ",ds_" << suite.sensor(s).name() << "_" << i;
+    }
+  }
+  for (std::size_t i = 0; i < first.report.actuator_anomaly.size(); ++i)
+    os << ",da_" << i;
+  os << ",truth_sensors,truth_actuator,collided\n";
+
+  for (const IterationRecord& rec : result.records) {
+    os << static_cast<double>(rec.k) * result.dt;
+    write_vector(os, rec.x_true);
+    write_vector(os, rec.u_planned);
+    write_vector(os, rec.u_executed);
+    write_vector(os, rec.report.state_estimate);
+    const auto& d = rec.report.decision;
+    os << "," << rec.report.selected_mode << "," << d.sensor_statistic << ","
+       << d.sensor_threshold << "," << (d.sensor_alarm ? 1 : 0) << ","
+       << d.actuator_statistic << "," << d.actuator_threshold << ","
+       << (d.actuator_alarm ? 1 : 0);
+    for (std::size_t s = 0; s < suite.count(); ++s) {
+      const Vector& est = rec.report.sensor_anomaly_by_sensor[s];
+      for (std::size_t i = 0; i < suite.sensor(s).dim(); ++i) {
+        os << "," << (est.empty() ? 0.0 : est[i]);
+      }
+    }
+    write_vector(os, rec.report.actuator_anomaly);
+    unsigned mask = 0;
+    for (std::size_t s : rec.truth.corrupted_sensors) mask |= 1u << s;
+    os << "," << mask << "," << (rec.truth.actuator_corrupted ? 1 : 0) << ","
+       << (rec.collided ? 1 : 0) << "\n";
+  }
+}
+
+void write_trace_csv(const std::string& path, const MissionResult& result,
+                     const Platform& platform) {
+  std::ofstream file(path);
+  ROBOADS_CHECK(file.good(), "cannot open trace file '" + path + "'");
+  write_trace_csv(file, result, platform);
+  ROBOADS_CHECK(file.good(), "error writing trace file '" + path + "'");
+}
+
+}  // namespace roboads::eval

@@ -1,0 +1,27 @@
+// Mission trace export: serializes per-iteration records as CSV so the
+// paper's figure series (anomaly estimates, χ² statistics, mode selections,
+// ground truth) can be plotted with any external tool.
+#pragma once
+
+#include <iosfwd>
+
+#include "eval/mission.h"
+
+namespace roboads::eval {
+
+// Column layout (one row per control iteration):
+//   t, x_true..., u_planned..., u_executed...,
+//   state_estimate..., selected_mode,
+//   sensor_stat, sensor_thresh, sensor_alarm,
+//   act_stat, act_thresh, act_alarm,
+//   ds_<sensor>_<i>... (zero when the sensor was the reference),
+//   da_<i>...,
+//   truth_sensors (bitmask over suite indices), truth_actuator, collided
+void write_trace_csv(std::ostream& os, const MissionResult& result,
+                     const Platform& platform);
+
+// Convenience: writes to a file path; throws CheckError on I/O failure.
+void write_trace_csv(const std::string& path, const MissionResult& result,
+                     const Platform& platform);
+
+}  // namespace roboads::eval

@@ -1,0 +1,100 @@
+// 2-D geometry primitives for the arena world, LiDAR ray casting, and the
+// RRT* planner's collision checks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace roboads::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; >0 when `o` is CCW from *this.
+  double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const;
+  double norm_squared() const { return x * x + y * y; }
+  Vec2 normalized() const;
+  // Rotated counter-clockwise by `angle` radians.
+  Vec2 rotated(double angle) const;
+};
+
+double distance(const Vec2& a, const Vec2& b);
+
+// Wraps an angle into (-π, π].
+double wrap_angle(double a);
+// Signed smallest difference a - b wrapped into (-π, π].
+double angle_diff(double a, double b);
+
+// A line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+  // Closest distance from `p` to the segment.
+  double distance_to(const Vec2& p) const;
+};
+
+// Intersection parameter t >= 0 along a ray origin + t*dir (unit dir not
+// required) with a segment; returns the smallest non-negative t, or nullopt.
+std::optional<double> ray_segment_intersection(const Vec2& origin,
+                                               const Vec2& dir,
+                                               const Segment& seg);
+
+// True when segments [a1,a2] and [b1,b2] intersect (inclusive of endpoints).
+bool segments_intersect(const Vec2& a1, const Vec2& a2, const Vec2& b1,
+                        const Vec2& b2);
+
+// Axis-aligned rectangle, used for arena obstacles.
+struct Aabb {
+  Vec2 min;
+  Vec2 max;
+
+  Aabb() = default;
+  Aabb(const Vec2& mn, const Vec2& mx) : min(mn), max(mx) {
+    ROBOADS_CHECK(mn.x <= mx.x && mn.y <= mx.y, "inverted AABB corners");
+  }
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  Vec2 center() const { return (min + max) / 2.0; }
+
+  bool contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  // Grows the box by `margin` on every side (negative shrinks).
+  Aabb inflated(double margin) const;
+  // The four boundary edges in CCW order.
+  std::vector<Segment> edges() const;
+  // True when segment [a,b] touches the box (either endpoint inside or an
+  // edge crossing).
+  bool intersects_segment(const Vec2& a, const Vec2& b) const;
+};
+
+// Total least-squares line fit through points: returns (point on line, unit
+// direction). Requires >= 2 points with nonzero spread.
+struct FittedLine {
+  Vec2 point;
+  Vec2 direction;  // unit
+  double rms_error = 0.0;
+
+  // Perpendicular distance from `p` to the fitted line.
+  double distance_to(const Vec2& p) const;
+};
+FittedLine fit_line(const std::vector<Vec2>& points);
+
+}  // namespace roboads::geom

@@ -1,0 +1,368 @@
+#include "matrix/decomp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace roboads {
+namespace {
+
+constexpr double kSingularPivot = 1e-13;
+
+}  // namespace
+
+// -------------------------------------------------------------------- LU --
+
+Lu::Lu(const Matrix& a) : lu_(a), piv_(a.rows()) {
+  ROBOADS_CHECK(a.square(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the pivot.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(piv_[k], piv_[p]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    if (best <= kSingularPivot) {
+      invertible_ = false;
+      continue;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) /= pivot;
+      const double lik = lu_(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= lik * lu_(k, j);
+    }
+  }
+}
+
+double Lu::determinant() const {
+  if (!invertible_) return 0.0;
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector Lu::solve(const Vector& b) const {
+  ROBOADS_CHECK(invertible_, "LU solve on singular matrix");
+  ROBOADS_CHECK_EQ(b.size(), lu_.rows(), "LU solve rhs size mismatch");
+  const std::size_t n = lu_.rows();
+  Vector x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[piv_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  ROBOADS_CHECK_EQ(b.rows(), lu_.rows(), "LU solve rhs shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const Vector xj = solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+// -------------------------------------------------------------- Cholesky --
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  ROBOADS_CHECK(a.square(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  ok_ = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      ok_ = false;
+      return;
+    }
+    l_(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / l_(j, j);
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  ROBOADS_CHECK(ok_, "Cholesky solve on non-SPD matrix");
+  ROBOADS_CHECK_EQ(b.size(), l_.rows(), "Cholesky solve rhs size mismatch");
+  const std::size_t n = l_.rows();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  ROBOADS_CHECK_EQ(b.rows(), l_.rows(), "Cholesky solve rhs shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const Vector xj = solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const { return solve(Matrix::identity(l_.rows())); }
+
+double Cholesky::log_determinant() const {
+  ROBOADS_CHECK(ok_, "log_determinant on non-SPD matrix");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+// ------------------------------------------------------- symmetric eigen --
+
+SymmetricEigen eigen_symmetric(const Matrix& a_in, double tol) {
+  ROBOADS_CHECK(a_in.square(), "eigen_symmetric requires a square matrix");
+  const std::size_t n = a_in.rows();
+  Matrix a = a_in.symmetrized();
+  Matrix v = Matrix::identity(n);
+
+  const double scale = std::max(1.0, a.norm_inf());
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (std::sqrt(off) <= tol * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol * scale * 1e-3) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation A <- J^T A J on rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  SymmetricEigen out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      out.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- SVD --
+
+Svd svd(const Matrix& a, double tol) {
+  if (a.rows() < a.cols()) {
+    // One-sided Jacobi orthogonalizes columns; transpose tall-ness in.
+    Svd t = svd(a.transpose(), tol);
+    return Svd{std::move(t.v), std::move(t.sigma), std::move(t.u)};
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix u = a;
+  Matrix v = Matrix::identity(n);
+
+  // One-sided Jacobi: rotate column pairs of U until mutually orthogonal.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += u(i, p) * u(i, p);
+          beta += u(i, q) * u(i, q);
+          gamma += u(i, p) * u(i, q);
+        }
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double uip = u(i, p);
+          const double uiq = u(i, q);
+          u(i, p) = c * uip - s * uiq;
+          u(i, q) = s * uip + c * uiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms are the singular values; normalize U.
+  Vector sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm2 += u(i, j) * u(i, j);
+    sigma[j] = std::sqrt(norm2);
+    if (sigma[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u(i, j) /= sigma[j];
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return sigma[i] > sigma[j]; });
+
+  Svd out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.sigma = Vector(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.sigma[j] = sigma[order[j]];
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = u(i, order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+namespace {
+
+double rank_threshold(const Svd& s, std::size_t m, std::size_t n,
+                      double rel_tol) {
+  const double smax = s.sigma.size() ? s.sigma[0] : 0.0;
+  return rel_tol * static_cast<double>(std::max(m, n)) * std::max(smax, 1e-300);
+}
+
+}  // namespace
+
+std::size_t rank(const Matrix& a, double rel_tol) {
+  if (a.empty()) return 0;
+  const Svd s = svd(a);
+  const double thresh = rank_threshold(s, a.rows(), a.cols(), rel_tol);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < s.sigma.size(); ++i)
+    if (s.sigma[i] > thresh) ++r;
+  return r;
+}
+
+Matrix pseudo_inverse(const Matrix& a, double rel_tol) {
+  if (a.empty()) return a.transpose();
+  const Svd s = svd(a);
+  const double thresh = rank_threshold(s, a.rows(), a.cols(), rel_tol);
+  // pinv(A) = V * diag(1/sigma_i for sigma_i > thresh) * U^T
+  Matrix scaled_v = s.v;  // n x k, columns scaled by inverse singular values
+  for (std::size_t j = 0; j < s.sigma.size(); ++j) {
+    const double inv = s.sigma[j] > thresh ? 1.0 / s.sigma[j] : 0.0;
+    for (std::size_t i = 0; i < scaled_v.rows(); ++i) scaled_v(i, j) *= inv;
+  }
+  return scaled_v * s.u.transpose();
+}
+
+double pseudo_determinant(const Matrix& a, double rel_tol) {
+  return std::exp(log_pseudo_determinant(a, rel_tol));
+}
+
+double log_pseudo_determinant(const Matrix& a, double rel_tol) {
+  if (a.empty()) return 0.0;
+  const Svd s = svd(a);
+  const double thresh = rank_threshold(s, a.rows(), a.cols(), rel_tol);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < s.sigma.size(); ++i)
+    if (s.sigma[i] > thresh) acc += std::log(s.sigma[i]);
+  return acc;
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  Cholesky chol(a);
+  if (chol.ok()) return chol.solve(b);
+  return pseudo_inverse(a) * b;
+}
+
+Matrix inverse_spd(const Matrix& a) {
+  Cholesky chol(a);
+  if (chol.ok()) return chol.inverse();
+  return pseudo_inverse(a);
+}
+
+Matrix spd_pseudo_inverse(const Matrix& a, double rel_tol) {
+  ROBOADS_CHECK(a.square(), "spd_pseudo_inverse requires a square matrix");
+  if (a.empty()) return a;
+  const SymmetricEigen eig = eigen_symmetric(a.symmetrized());
+  const double lam_max = std::max(eig.eigenvalues[0], 0.0);
+  const double thresh = rel_tol * std::max(lam_max, 1e-300);
+  Matrix scaled = eig.eigenvectors;  // columns scaled by 1/λ on the support
+  for (std::size_t j = 0; j < scaled.cols(); ++j) {
+    const double lam = eig.eigenvalues[j];
+    const double inv = lam > thresh ? 1.0 / lam : 0.0;
+    for (std::size_t i = 0; i < scaled.rows(); ++i) scaled(i, j) *= inv;
+  }
+  return scaled * eig.eigenvectors.transpose();
+}
+
+}  // namespace roboads

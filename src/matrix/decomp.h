@@ -1,0 +1,111 @@
+// Matrix factorizations and solvers used by the estimation stack.
+//
+// Everything here operates on the small dense matrices of `matrix.h`.
+// Solvers throw roboads::CheckError on structurally invalid input (shape
+// mismatch) and report numerical rank-deficiency through their result types
+// rather than by throwing, since near-singular innovation covariances are an
+// expected runtime condition for the detector.
+#pragma once
+
+#include <optional>
+
+#include "matrix/matrix.h"
+
+namespace roboads {
+
+// LU factorization with partial pivoting: P*A = L*U.
+class Lu {
+ public:
+  // Factorizes a square matrix.
+  explicit Lu(const Matrix& a);
+
+  // True when no pivot fell below the singularity threshold.
+  bool invertible() const { return invertible_; }
+  double determinant() const;
+
+  // Solves A x = b. Requires invertible().
+  Vector solve(const Vector& b) const;
+  // Solves A X = B column-by-column. Requires invertible().
+  Matrix solve(const Matrix& b) const;
+  Matrix inverse() const;
+
+ private:
+  Matrix lu_;                   // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv_;
+  int pivot_sign_ = 1;
+  bool invertible_ = true;
+};
+
+// Cholesky factorization A = L * L^T of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  // True when the factorization succeeded (matrix was numerically SPD).
+  bool ok() const { return ok_; }
+  const Matrix& l() const { return l_; }
+
+  // Solves A x = b. Requires ok().
+  Vector solve(const Vector& b) const;
+  Matrix solve(const Matrix& b) const;
+  Matrix inverse() const;
+  // log(det(A)) computed stably from the factor diagonal. Requires ok().
+  double log_determinant() const;
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method:
+// A = V * diag(w) * V^T with orthonormal V. Eigenvalues are sorted
+// descending by value.
+struct SymmetricEigen {
+  Vector eigenvalues;   // descending
+  Matrix eigenvectors;  // columns correspond to eigenvalues
+};
+SymmetricEigen eigen_symmetric(const Matrix& a, double tol = 1e-13);
+
+// Thin SVD A = U * diag(s) * V^T via one-sided Jacobi. Singular values are
+// sorted descending. Works for any shape (internally transposes when
+// rows < cols).
+struct Svd {
+  Matrix u;        // rows(A) x k
+  Vector sigma;    // k, descending, non-negative
+  Matrix v;        // cols(A) x k
+};
+Svd svd(const Matrix& a, double tol = 1e-13);
+
+// Numerical rank with relative tolerance max(m,n) * eps_like * sigma_max.
+std::size_t rank(const Matrix& a, double rel_tol = 1e-10);
+
+// Moore-Penrose pseudo-inverse via SVD.
+Matrix pseudo_inverse(const Matrix& a, double rel_tol = 1e-10);
+
+// Pseudo-determinant: product of non-negligible singular values. For the
+// symmetric PSD matrices this library feeds it (innovation covariances) this
+// equals the product of non-zero eigenvalues, as used in the NUISE mode
+// likelihood (Algorithm 2, line 20). Returns 1.0 for rank-0 input, matching
+// the empty-product convention.
+double pseudo_determinant(const Matrix& a, double rel_tol = 1e-10);
+
+// Log of the pseudo-determinant, computed without overflow.
+double log_pseudo_determinant(const Matrix& a, double rel_tol = 1e-10);
+
+// Solves A x = b for symmetric positive semi-definite A: uses Cholesky when
+// SPD, otherwise falls back to the pseudo-inverse. Always returns a vector
+// (least-squares solution in the degenerate case).
+Vector solve_spd(const Matrix& a, const Vector& b);
+
+// Inverse for symmetric positive (semi-)definite A with pseudo-inverse
+// fallback; the workhorse for covariance inversions in χ² statistics.
+Matrix inverse_spd(const Matrix& a);
+
+// Pseudo-inverse of a symmetric PSD matrix via its eigendecomposition,
+// zeroing eigenvalues below rel_tol * λ_max. Unlike inverse_spd this never
+// trusts a numerically-successful Cholesky on a structurally singular
+// matrix — required for the NUISE innovation covariance, which loses q
+// degrees of freedom to the input-anomaly compensation by construction.
+Matrix spd_pseudo_inverse(const Matrix& a, double rel_tol = 1e-10);
+
+}  // namespace roboads

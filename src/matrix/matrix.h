@@ -1,0 +1,177 @@
+// Dense, dynamically-sized linear algebra for the RoboADS estimation stack.
+//
+// The library is deliberately small and double-only: every matrix the
+// detection system manipulates (state covariances, Jacobians, innovation
+// covariances) is tiny (< 10x10) and dense, so clarity and checked access win
+// over genericity. Matrices are row-major, value types with deep copy.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace roboads {
+
+class Matrix;
+
+// A real column vector with value semantics.
+class Vector {
+ public:
+  Vector() = default;
+  // Zero vector of dimension `n`.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    ROBOADS_CHECK(i < data_.size(), "vector index out of range");
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    ROBOADS_CHECK(i < data_.size(), "vector index out of range");
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  // Elementwise arithmetic. Dimensions must match.
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+  Vector& operator/=(double s);
+
+  // Contiguous sub-vector [start, start+len).
+  Vector segment(std::size_t start, std::size_t len) const;
+  // Writes `v` into [start, start+v.size()).
+  void set_segment(std::size_t start, const Vector& v);
+
+  double dot(const Vector& rhs) const;
+  double norm() const;      // Euclidean norm.
+  double norm_inf() const;  // max |x_i|.
+  double sum() const;
+
+  // True when every component is finite (no NaN/Inf).
+  bool all_finite() const;
+
+  // Interprets the vector as an n x 1 matrix.
+  Matrix as_column() const;
+  // Interprets the vector as a 1 x n matrix.
+  Matrix as_row() const;
+
+  // Concatenates this vector with `tail`.
+  Vector concat(const Vector& tail) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector v, double s);
+Vector operator*(double s, Vector v);
+Vector operator/(Vector v, double s);
+Vector operator-(Vector v);
+bool operator==(const Vector& a, const Vector& b);
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+// A real dense matrix, row-major, with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  // Zero matrix of shape rows x cols.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Row-major initializer: Matrix{{1,2},{3,4}}. All rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const Vector& d);
+  // Outer product a * b^T.
+  static Matrix outer(const Vector& a, const Vector& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    ROBOADS_CHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    ROBOADS_CHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  Matrix& operator/=(double s);
+
+  Matrix transpose() const;
+
+  // Sub-block of shape (nrows x ncols) anchored at (i, j).
+  Matrix block(std::size_t i, std::size_t j, std::size_t nrows,
+               std::size_t ncols) const;
+  // Writes `b` into the block anchored at (i, j).
+  void set_block(std::size_t i, std::size_t j, const Matrix& b);
+
+  Vector row(std::size_t i) const;
+  Vector col(std::size_t j) const;
+  Vector diagonal_vector() const;
+
+  double trace() const;
+  // Frobenius norm.
+  double norm() const;
+  // max_ij |a_ij|.
+  double norm_inf() const;
+
+  bool all_finite() const;
+  // True when ||A - A^T||_inf <= tol * max(1, ||A||_inf).
+  bool is_symmetric(double tol = 1e-9) const;
+
+  // Returns (A + A^T) / 2; used to keep covariance propagation symmetric in
+  // the face of floating-point drift.
+  Matrix symmetrized() const;
+
+  // Stacks `bottom` below this matrix (column counts must match).
+  Matrix vstack(const Matrix& bottom) const;
+  // Stacks `right` beside this matrix (row counts must match).
+  Matrix hstack(const Matrix& right) const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(const Matrix& a, const Matrix& b);
+Vector operator*(const Matrix& a, const Vector& x);
+Matrix operator*(Matrix m, double s);
+Matrix operator*(double s, Matrix m);
+Matrix operator/(Matrix m, double s);
+Matrix operator-(Matrix m);
+bool operator==(const Matrix& a, const Matrix& b);
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+// a^T * M * a, the quadratic form; `M` must be square with M.rows()==a.size().
+double quadratic_form(const Matrix& m, const Vector& a);
+
+}  // namespace roboads

@@ -1,0 +1,142 @@
+#include "planning/rrt_star.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roboads::planning {
+
+using geom::Vec2;
+
+double PlannedPath::length() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i)
+    acc += geom::distance(waypoints[i - 1], waypoints[i]);
+  return acc;
+}
+
+RrtStar::RrtStar(const sim::World& world, RrtStarConfig config)
+    : world_(world), config_(config) {
+  ROBOADS_CHECK(config_.step_size > 0.0, "step size must be positive");
+  ROBOADS_CHECK(config_.goal_radius > 0.0, "goal radius must be positive");
+  ROBOADS_CHECK(config_.rewire_radius >= config_.step_size,
+                "rewire radius should cover the step size");
+  ROBOADS_CHECK(config_.goal_bias >= 0.0 && config_.goal_bias < 1.0,
+                "goal bias must lie in [0, 1)");
+}
+
+std::optional<PlannedPath> RrtStar::plan(const Vec2& start, const Vec2& goal,
+                                         Rng& rng) const {
+  const double r = config_.robot_radius;
+  ROBOADS_CHECK(world_.free(start, r), "start pose is in collision");
+  ROBOADS_CHECK(world_.free(goal, r), "goal pose is in collision");
+
+  std::vector<Node> nodes;
+  nodes.push_back({start, 0, 0.0});
+  std::optional<std::size_t> best_goal_node;
+  double best_goal_cost = std::numeric_limits<double>::infinity();
+
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    // Sample (goal-biased).
+    const Vec2 sample = rng.uniform() < config_.goal_bias
+                            ? goal
+                            : Vec2{rng.uniform(0.0, world_.width()),
+                                   rng.uniform(0.0, world_.height())};
+
+    // Nearest node.
+    std::size_t nearest = 0;
+    double nearest_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double d2 = (nodes[i].position - sample).norm_squared();
+      if (d2 < nearest_d2) {
+        nearest_d2 = d2;
+        nearest = i;
+      }
+    }
+
+    // Steer toward the sample by at most step_size.
+    const Vec2 from = nodes[nearest].position;
+    const double dist = std::sqrt(nearest_d2);
+    if (dist < 1e-9) continue;
+    const Vec2 to = dist <= config_.step_size
+                        ? sample
+                        : from + (sample - from) * (config_.step_size / dist);
+    if (!world_.segment_free(from, to, r)) continue;
+
+    // Choose the cheapest collision-free parent within the neighborhood.
+    std::size_t parent = nearest;
+    double cost = nodes[nearest].cost + geom::distance(from, to);
+    std::vector<std::size_t> neighbors;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double d = geom::distance(nodes[i].position, to);
+      if (d > config_.rewire_radius) continue;
+      neighbors.push_back(i);
+      const double c = nodes[i].cost + d;
+      if (c < cost && world_.segment_free(nodes[i].position, to, r)) {
+        cost = c;
+        parent = i;
+      }
+    }
+
+    const std::size_t new_index = nodes.size();
+    nodes.push_back({to, parent, cost});
+
+    // Rewire the neighborhood through the new node when cheaper.
+    for (std::size_t i : neighbors) {
+      const double through =
+          cost + geom::distance(to, nodes[i].position);
+      if (through + 1e-12 < nodes[i].cost &&
+          world_.segment_free(to, nodes[i].position, r)) {
+        nodes[i].parent = new_index;
+        nodes[i].cost = through;
+      }
+    }
+
+    // Track the best node able to reach the goal directly.
+    const double to_goal = geom::distance(to, goal);
+    if (to_goal <= config_.goal_radius &&
+        world_.segment_free(to, goal, r)) {
+      const double total = cost + to_goal;
+      if (total < best_goal_cost) {
+        best_goal_cost = total;
+        best_goal_node = new_index;
+      }
+    }
+  }
+
+  if (!best_goal_node) return std::nullopt;
+
+  // Recover the waypoint chain.
+  std::vector<Vec2> reversed;
+  reversed.push_back(goal);
+  for (std::size_t i = *best_goal_node; i != 0; i = nodes[i].parent) {
+    reversed.push_back(nodes[i].position);
+  }
+  reversed.push_back(start);
+  std::reverse(reversed.begin(), reversed.end());
+
+  PlannedPath path;
+  path.waypoints = std::move(reversed);
+  path.cost = best_goal_cost;
+  return path;
+}
+
+PlannedPath RrtStar::smooth(const PlannedPath& path, Rng& rng,
+                            std::size_t attempts) const {
+  if (path.waypoints.size() <= 2) return path;
+  std::vector<Vec2> pts = path.waypoints;
+  for (std::size_t it = 0; it < attempts && pts.size() > 2; ++it) {
+    const std::size_t i = rng.index(pts.size() - 2);
+    const std::size_t j =
+        i + 2 + rng.index(pts.size() - i - 2);  // j >= i + 2
+    if (world_.segment_free(pts[i], pts[j], config_.robot_radius)) {
+      pts.erase(pts.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                pts.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+  }
+  PlannedPath out;
+  out.waypoints = std::move(pts);
+  out.cost = out.length();
+  return out;
+}
+
+}  // namespace roboads::planning

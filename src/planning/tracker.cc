@@ -1,0 +1,122 @@
+#include "planning/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roboads::planning {
+
+using geom::Vec2;
+
+Pid::Pid(double kp, double ki, double kd, double dt, double integral_limit)
+    : kp_(kp), ki_(ki), kd_(kd), dt_(dt), integral_limit_(integral_limit) {
+  ROBOADS_CHECK(dt > 0.0, "PID needs positive dt");
+  ROBOADS_CHECK(integral_limit >= 0.0, "integral limit must be >= 0");
+}
+
+double Pid::update(double error) {
+  integral_ = std::clamp(integral_ + error * dt_, -integral_limit_,
+                         integral_limit_);
+  const double derivative = has_prev_ ? (error - prev_error_) / dt_ : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+  return kp_ * error + ki_ * integral_ + kd_ * derivative;
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+WaypointFollower::WaypointFollower(PlannedPath path, double lookahead,
+                                   double goal_tolerance)
+    : path_(std::move(path)),
+      lookahead_(lookahead),
+      goal_tolerance_(goal_tolerance) {
+  ROBOADS_CHECK(path_.waypoints.size() >= 2,
+                "path needs at least start and goal");
+  ROBOADS_CHECK(lookahead_ > 0.0 && goal_tolerance_ > 0.0,
+                "lookahead and tolerance must be positive");
+}
+
+bool WaypointFollower::reached(const Vec2& position) const {
+  return geom::distance(position, path_.waypoints.back()) <= goal_tolerance_;
+}
+
+Vec2 WaypointFollower::carrot(const Vec2& position) {
+  // Advance past waypoints already within the lookahead circle.
+  while (active_ + 1 < path_.waypoints.size() &&
+         geom::distance(position, path_.waypoints[active_]) < lookahead_) {
+    ++active_;
+  }
+  return path_.waypoints[active_];
+}
+
+DiffDrivePathTracker::DiffDrivePathTracker(PlannedPath path, double dt,
+                                           DiffDriveTrackerConfig config)
+    : config_(config),
+      follower_(std::move(path), config.lookahead, config.goal_tolerance),
+      heading_pid_(config.heading_kp, config.heading_ki, config.heading_kd,
+                   dt, 1.0) {}
+
+bool DiffDrivePathTracker::reached(const Vector& pose) const {
+  return follower_.reached({pose[0], pose[1]});
+}
+
+Vector DiffDrivePathTracker::control(const Vector& pose) {
+  ROBOADS_CHECK(pose.size() >= 3, "diff-drive tracker needs (x, y, θ)");
+  const Vec2 position{pose[0], pose[1]};
+  if (follower_.reached(position)) return Vector{0.0, 0.0};
+
+  const Vec2 target = follower_.carrot(position);
+  const Vec2 to_target = target - position;
+  const double heading_error =
+      geom::angle_diff(std::atan2(to_target.y, to_target.x), pose[2]);
+  const double turn = heading_pid_.update(heading_error);
+
+  // Taper forward speed near the goal and when badly misaligned.
+  const double goal_dist =
+      geom::distance(position, follower_.path().waypoints.back());
+  double v = config_.cruise_speed *
+             std::min(1.0, goal_dist / config_.slowdown_radius);
+  v *= std::max(0.15, std::cos(std::min(std::abs(heading_error), M_PI / 2)));
+
+  const double half_span = config_.max_wheel_speed;
+  const double vl = std::clamp(v - turn * 0.5 * config_.max_wheel_speed,
+                               -half_span, half_span);
+  const double vr = std::clamp(v + turn * 0.5 * config_.max_wheel_speed,
+                               -half_span, half_span);
+  return Vector{vl, vr};
+}
+
+BicyclePathTracker::BicyclePathTracker(PlannedPath path, double dt,
+                                       BicycleTrackerConfig config)
+    : config_(config),
+      follower_(std::move(path), config.lookahead, config.goal_tolerance),
+      heading_pid_(config.heading_kp, config.heading_ki, config.heading_kd,
+                   dt, 1.0) {}
+
+bool BicyclePathTracker::reached(const Vector& pose) const {
+  return follower_.reached({pose[0], pose[1]});
+}
+
+Vector BicyclePathTracker::control(const Vector& pose) {
+  ROBOADS_CHECK(pose.size() >= 3, "bicycle tracker needs (x, y, θ)");
+  const Vec2 position{pose[0], pose[1]};
+  if (follower_.reached(position)) return Vector{0.0, 0.0};
+
+  const Vec2 target = follower_.carrot(position);
+  const Vec2 to_target = target - position;
+  const double heading_error =
+      geom::angle_diff(std::atan2(to_target.y, to_target.x), pose[2]);
+  const double steer = std::clamp(heading_pid_.update(heading_error),
+                                  -config_.max_steer, config_.max_steer);
+
+  const double goal_dist =
+      geom::distance(position, follower_.path().waypoints.back());
+  const double v_cmd = config_.cruise_speed *
+                       std::min(1.0, goal_dist / config_.slowdown_radius);
+  return Vector{v_cmd, steer};
+}
+
+}  // namespace roboads::planning

@@ -1,0 +1,105 @@
+// PID closed-loop path tracking (paper §V-A: "the robot executes PID
+// closed-loop control to track the planned path using real-time positioning
+// data from the IPS").
+//
+// The trackers consume a pose estimate each iteration (the Khepera mission
+// feeds them the live IPS reading, so position attacks genuinely divert the
+// robot, as in the paper's experiments) and emit planned control commands.
+#pragma once
+
+#include "matrix/matrix.h"
+#include "planning/rrt_star.h"
+
+namespace roboads::planning {
+
+// Scalar PID loop with anti-windup clamping on the integral term.
+class Pid {
+ public:
+  Pid(double kp, double ki, double kd, double dt, double integral_limit);
+
+  double update(double error);
+  void reset();
+
+ private:
+  double kp_, ki_, kd_, dt_, integral_limit_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+// Shared waypoint-following logic: tracks progress along the path and
+// exposes the current carrot point.
+class WaypointFollower {
+ public:
+  WaypointFollower(PlannedPath path, double lookahead, double goal_tolerance);
+
+  const PlannedPath& path() const { return path_; }
+  bool reached(const geom::Vec2& position) const;
+
+  // Advances the active waypoint and returns the carrot the controller
+  // should steer toward.
+  geom::Vec2 carrot(const geom::Vec2& position);
+
+ private:
+  PlannedPath path_;
+  double lookahead_;
+  double goal_tolerance_;
+  std::size_t active_ = 1;  // waypoint currently steered toward
+};
+
+struct DiffDriveTrackerConfig {
+  double cruise_speed = 0.09;    // wheel-average speed [m/s]
+  double max_wheel_speed = 0.18; // per-wheel clamp [m/s]
+  double heading_kp = 0.9;
+  double heading_ki = 0.02;
+  double heading_kd = 0.08;
+  double lookahead = 0.18;       // carrot distance [m]
+  double goal_tolerance = 0.06;  // [m]
+  double slowdown_radius = 0.25; // speed taper near the goal [m]
+};
+
+// Differential-drive tracker: heading PID sets the wheel speed differential.
+class DiffDrivePathTracker {
+ public:
+  DiffDrivePathTracker(PlannedPath path, double dt,
+                       DiffDriveTrackerConfig config = {});
+
+  // `pose` = (x, y, θ) estimate. Returns (v_left, v_right).
+  Vector control(const Vector& pose);
+  bool reached(const Vector& pose) const;
+
+ private:
+  DiffDriveTrackerConfig config_;
+  WaypointFollower follower_;
+  Pid heading_pid_;
+};
+
+struct BicycleTrackerConfig {
+  double cruise_speed = 0.5;     // commanded forward speed [m/s]
+  double heading_kp = 1.6;
+  double heading_ki = 0.0;
+  double heading_kd = 0.15;
+  double max_steer = 0.45;       // controller steering limit [rad]
+  double lookahead = 0.45;       // [m]
+  double goal_tolerance = 0.15;  // [m]
+  double slowdown_radius = 0.8;  // [m]
+};
+
+// Kinematic-bicycle tracker: heading PID → steering; commanded speed tapers
+// toward the goal. Emits (v_cmd, steering) for dyn::KinematicBicycle.
+class BicyclePathTracker {
+ public:
+  BicyclePathTracker(PlannedPath path, double dt,
+                     BicycleTrackerConfig config = {});
+
+  // `pose` = (x, y, θ) estimate. Returns (v_cmd, steering).
+  Vector control(const Vector& pose);
+  bool reached(const Vector& pose) const;
+
+ private:
+  BicycleTrackerConfig config_;
+  WaypointFollower follower_;
+  Pid heading_pid_;
+};
+
+}  // namespace roboads::planning

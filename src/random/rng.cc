@@ -1,0 +1,68 @@
+#include "random/rng.h"
+
+#include <cmath>
+
+#include "matrix/decomp.h"
+
+namespace roboads {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  ROBOADS_CHECK(lo <= hi, "uniform range inverted");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  ROBOADS_CHECK(n > 0, "index() on empty range");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double Rng::gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  ROBOADS_CHECK(stddev >= 0.0, "negative standard deviation");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Vector Rng::gaussian_vector(std::size_t n) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = gaussian();
+  return v;
+}
+
+std::uint64_t Rng::split() { return engine_(); }
+
+GaussianSampler::GaussianSampler(const Matrix& cov) : cov_(cov) {
+  ROBOADS_CHECK(cov.square(), "covariance must be square");
+  ROBOADS_CHECK(cov.is_symmetric(1e-8), "covariance must be symmetric");
+  Cholesky chol(cov_);
+  if (chol.ok()) {
+    factor_ = chol.l();
+    return;
+  }
+  // PSD fallback: factor via the symmetric eigendecomposition, clamping tiny
+  // negative eigenvalues born of floating-point noise to zero.
+  const SymmetricEigen eig = eigen_symmetric(cov_);
+  Matrix scaled = eig.eigenvectors;
+  for (std::size_t j = 0; j < scaled.cols(); ++j) {
+    const double lam = eig.eigenvalues[j];
+    ROBOADS_CHECK(lam > -1e-9 * std::max(1.0, cov_.norm_inf()),
+                  "covariance has a significantly negative eigenvalue");
+    const double s = lam > 0.0 ? std::sqrt(lam) : 0.0;
+    for (std::size_t i = 0; i < scaled.rows(); ++i) scaled(i, j) *= s;
+  }
+  factor_ = scaled;
+}
+
+Vector GaussianSampler::sample(Rng& rng) const {
+  if (dimension() == 0) return Vector();
+  return factor_ * rng.gaussian_vector(factor_.cols());
+}
+
+}  // namespace roboads

@@ -1,0 +1,140 @@
+#include "sensors/sensor_model.h"
+
+#include <algorithm>
+
+#include "geometry/geometry.h"
+
+namespace roboads::sensors {
+
+Vector SensorModel::residual(const Vector& z, const Vector& x) const {
+  ROBOADS_CHECK_EQ(z.size(), dim(), "reading dimension mismatch");
+  Vector r = z - measure(x);
+  const std::vector<bool> mask = angle_mask();
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (mask[i]) r[i] = geom::wrap_angle(r[i]);
+  }
+  return r;
+}
+
+SensorSuite::SensorSuite(std::vector<SensorPtr> sensors)
+    : sensors_(std::move(sensors)) {
+  offsets_.reserve(sensors_.size());
+  for (const SensorPtr& s : sensors_) {
+    ROBOADS_CHECK(s != nullptr, "null sensor in suite");
+    ROBOADS_CHECK(s->dim() > 0, "sensor with zero dimension");
+    if (!sensors_.empty()) {
+      ROBOADS_CHECK_EQ(s->state_dim(), sensors_.front()->state_dim(),
+                       "sensors disagree on state dimension");
+    }
+    offsets_.push_back(total_dim_);
+    total_dim_ += s->dim();
+  }
+}
+
+const SensorModel& SensorSuite::sensor(std::size_t i) const {
+  ROBOADS_CHECK(i < sensors_.size(), "sensor index out of range");
+  return *sensors_[i];
+}
+
+std::size_t SensorSuite::offset(std::size_t i) const {
+  ROBOADS_CHECK(i < offsets_.size(), "sensor index out of range");
+  return offsets_[i];
+}
+
+std::size_t SensorSuite::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    if (sensors_[i]->name() == name) return i;
+  }
+  ROBOADS_CHECK(false, "no sensor named '" + name + "' in suite");
+  return 0;  // unreachable
+}
+
+void SensorSuite::check_subset(const std::vector<std::size_t>& subset) const {
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    ROBOADS_CHECK(subset[i] < sensors_.size(), "subset index out of range");
+    if (i > 0) {
+      ROBOADS_CHECK(subset[i - 1] < subset[i],
+                    "subset must be strictly increasing (suite order)");
+    }
+  }
+}
+
+Vector SensorSuite::measure(const std::vector<std::size_t>& subset,
+                            const Vector& x) const {
+  check_subset(subset);
+  Vector out;
+  for (std::size_t i : subset) out = out.concat(sensors_[i]->measure(x));
+  return out;
+}
+
+Matrix SensorSuite::jacobian(const std::vector<std::size_t>& subset,
+                             const Vector& x) const {
+  check_subset(subset);
+  Matrix out;
+  for (std::size_t i : subset) out = out.vstack(sensors_[i]->jacobian(x));
+  return out;
+}
+
+Matrix SensorSuite::noise_covariance(
+    const std::vector<std::size_t>& subset) const {
+  check_subset(subset);
+  std::size_t dim = 0;
+  for (std::size_t i : subset) dim += sensors_[i]->dim();
+  Matrix out(dim, dim);
+  std::size_t at = 0;
+  for (std::size_t i : subset) {
+    out.set_block(at, at, sensors_[i]->noise_covariance());
+    at += sensors_[i]->dim();
+  }
+  return out;
+}
+
+Vector SensorSuite::slice(const std::vector<std::size_t>& subset,
+                          const Vector& z_full) const {
+  check_subset(subset);
+  ROBOADS_CHECK_EQ(z_full.size(), total_dim_, "full reading size mismatch");
+  Vector out;
+  for (std::size_t i : subset)
+    out = out.concat(z_full.segment(offsets_[i], sensors_[i]->dim()));
+  return out;
+}
+
+std::vector<bool> SensorSuite::angle_mask(
+    const std::vector<std::size_t>& subset) const {
+  check_subset(subset);
+  std::vector<bool> out;
+  for (std::size_t i : subset) {
+    const std::vector<bool> m = sensors_[i]->angle_mask();
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  return out;
+}
+
+Vector SensorSuite::residual(const std::vector<std::size_t>& subset,
+                             const Vector& z_subset, const Vector& x) const {
+  Vector r = z_subset - measure(subset, x);
+  const std::vector<bool> mask = angle_mask(subset);
+  ROBOADS_CHECK_EQ(r.size(), mask.size(), "residual size mismatch");
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (mask[i]) r[i] = geom::wrap_angle(r[i]);
+  }
+  return r;
+}
+
+std::vector<std::size_t> SensorSuite::all() const {
+  std::vector<std::size_t> out(sensors_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+std::vector<std::size_t> SensorSuite::complement(
+    const std::vector<std::size_t>& excluded) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    if (std::find(excluded.begin(), excluded.end(), i) == excluded.end())
+      out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace roboads::sensors

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace roboads::sim {
+
+RobotSimulator::RobotSimulator(const dyn::DynamicModel& model,
+                               Matrix process_cov, Vector x0,
+                               const World* world, double robot_radius)
+    : model_(model),
+      process_noise_(process_cov),
+      initial_state_(x0),
+      state_(std::move(x0)),
+      world_(world),
+      robot_radius_(robot_radius) {
+  ROBOADS_CHECK_EQ(state_.size(), model_.state_dim(),
+                   "initial state dimension mismatch");
+  ROBOADS_CHECK_EQ(process_noise_.dimension(), model_.state_dim(),
+                   "process covariance dimension mismatch");
+  ROBOADS_CHECK(robot_radius_ >= 0.0, "robot radius must be >= 0");
+}
+
+void RobotSimulator::step(const Vector& u_executed, Rng& rng) {
+  state_ = model_.step(state_, u_executed) + process_noise_.sample(rng);
+  collided_ = false;
+  if (world_ == nullptr) return;
+
+  // Wall contact: the body slides along the boundary instead of leaving.
+  double x = std::clamp(state_[0], robot_radius_,
+                        world_->width() - robot_radius_);
+  double y = std::clamp(state_[1], robot_radius_,
+                        world_->height() - robot_radius_);
+  // Obstacle contact: push out along the axis of least penetration.
+  for (const geom::Aabb& o : world_->obstacles()) {
+    const geom::Aabb box = o.inflated(robot_radius_);
+    if (!box.contains({x, y})) continue;
+    const double left = x - box.min.x;
+    const double right = box.max.x - x;
+    const double down = y - box.min.y;
+    const double up = box.max.y - y;
+    const double least = std::min({left, right, down, up});
+    if (least == left) {
+      x = box.min.x;
+    } else if (least == right) {
+      x = box.max.x;
+    } else if (least == down) {
+      y = box.min.y;
+    } else {
+      y = box.max.y;
+    }
+  }
+  // Report contact only when the correction is dynamically significant —
+  // a grazing slide that sheds well under a process-noise-sized fraction of
+  // the motion is not a disturbance any detector could or should see.
+  constexpr double kContactThreshold = 0.003;  // [m]
+  const double correction = std::hypot(x - state_[0], y - state_[1]);
+  if (correction > 0.0) {
+    state_[0] = x;
+    state_[1] = y;
+    collided_ = correction > kContactThreshold;
+  }
+}
+
+void RobotSimulator::reset(Vector x0) {
+  ROBOADS_CHECK_EQ(x0.size(), model_.state_dim(),
+                   "reset state dimension mismatch");
+  state_ = std::move(x0);
+}
+
+SensingStack::SensingStack(
+    std::vector<std::shared_ptr<SensingWorkflow>> workflows)
+    : workflows_(std::move(workflows)) {
+  ROBOADS_CHECK(!workflows_.empty(), "sensing stack needs >= 1 workflow");
+  for (const auto& w : workflows_) {
+    ROBOADS_CHECK(w != nullptr, "null sensing workflow");
+    total_dim_ += w->dim();
+  }
+}
+
+SensingWorkflow& SensingStack::workflow_named(const std::string& name) {
+  for (const auto& w : workflows_) {
+    if (w->name() == name) return *w;
+  }
+  ROBOADS_CHECK(false, "no sensing workflow named '" + name + "'");
+  return *workflows_.front();  // unreachable
+}
+
+Vector SensingStack::sense_all(std::size_t k, const Vector& x_true,
+                               Rng& rng) {
+  Vector z;
+  for (const auto& w : workflows_) {
+    z = z.concat(w->sense(k, x_true, rng));
+  }
+  return z;
+}
+
+void SensingStack::reset() {
+  for (const auto& w : workflows_) w->reset();
+}
+
+}  // namespace roboads::sim

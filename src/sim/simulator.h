@@ -1,0 +1,68 @@
+// Ground-truth robot simulation: advances the true state under the executed
+// commands plus Gaussian process noise (the ζ of eq. 1), and gathers the
+// full stacked reading vector from the sensing workflows.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dynamics/model.h"
+#include "random/rng.h"
+#include "sim/workflow.h"
+
+namespace roboads::sim {
+
+class RobotSimulator {
+ public:
+  // `model` (and `world`, when given) must outlive the simulator. With a
+  // world attached, the robot body cannot leave the arena or enter an
+  // obstacle: the position is clamped to the free space and the contact is
+  // reported. Wall contact is a physical actuator-level disturbance — the
+  // executed motion no longer matches the commands, the same class as the
+  // paper's "tire blowout" (Table I) — so the evaluation harness folds
+  // `collided()` into the actuator ground truth.
+  RobotSimulator(const dyn::DynamicModel& model, Matrix process_cov,
+                 Vector x0, const World* world = nullptr,
+                 double robot_radius = 0.05);
+
+  const Vector& state() const { return state_; }
+  // True when the last step ended in contact with a wall or obstacle.
+  bool collided() const { return collided_; }
+
+  // Advances the true state with the executed command u + dᵃ.
+  void step(const Vector& u_executed, Rng& rng);
+
+  void reset(Vector x0);
+
+ private:
+  const dyn::DynamicModel& model_;
+  GaussianSampler process_noise_;
+  Vector initial_state_;
+  Vector state_;
+  const World* world_ = nullptr;
+  double robot_radius_ = 0.05;
+  bool collided_ = false;
+};
+
+// The set of sensing workflows in suite order; produces the stacked reading
+// vector z_k the planner (and RoboADS) receives.
+class SensingStack {
+ public:
+  explicit SensingStack(
+      std::vector<std::shared_ptr<SensingWorkflow>> workflows);
+
+  std::size_t total_dim() const { return total_dim_; }
+  const std::vector<std::shared_ptr<SensingWorkflow>>& workflows() const {
+    return workflows_;
+  }
+  SensingWorkflow& workflow_named(const std::string& name);
+
+  Vector sense_all(std::size_t k, const Vector& x_true, Rng& rng);
+  void reset();
+
+ private:
+  std::vector<std::shared_ptr<SensingWorkflow>> workflows_;
+  std::size_t total_dim_ = 0;
+};
+
+}  // namespace roboads::sim

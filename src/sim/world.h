@@ -1,0 +1,46 @@
+// The experiment arena: a rectangular walled area with axis-aligned
+// obstacles, mirroring the paper's indoor Vicon room (Fig. 5b). Provides the
+// collision queries used by the RRT* planner and the ray casting used by the
+// LiDAR simulation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace roboads::sim {
+
+class World {
+ public:
+  // Arena [0, width] x [0, height] with interior obstacles.
+  World(double width, double height, std::vector<geom::Aabb> obstacles = {});
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+  const std::vector<geom::Aabb>& obstacles() const { return obstacles_; }
+
+  // True when `p`, padded by `radius`, lies inside the arena and clear of
+  // every obstacle.
+  bool free(const geom::Vec2& p, double radius = 0.0) const;
+
+  // True when the straight move a→b stays free for a robot of `radius`.
+  bool segment_free(const geom::Vec2& a, const geom::Vec2& b,
+                    double radius = 0.0) const;
+
+  // Distance from `origin` along `angle` (global frame) to the first wall or
+  // obstacle hit, clipped at max_range.
+  double raycast(const geom::Vec2& origin, double angle,
+                 double max_range) const;
+
+  // The four arena wall segments.
+  const std::vector<geom::Segment>& walls() const { return walls_; }
+
+ private:
+  double width_;
+  double height_;
+  std::vector<geom::Aabb> obstacles_;
+  std::vector<geom::Segment> walls_;
+};
+
+}  // namespace roboads::sim

@@ -1,0 +1,34 @@
+#include "stats/gaussian.h"
+
+#include <cmath>
+
+#include "matrix/decomp.h"
+
+namespace roboads::stats {
+
+double gaussian_log_pdf(const Vector& x, const Matrix& cov) {
+  ROBOADS_CHECK(cov.square() && cov.rows() == x.size(),
+                "gaussian_log_pdf shape mismatch");
+  Cholesky chol(cov);
+  ROBOADS_CHECK(chol.ok(), "gaussian_log_pdf requires SPD covariance");
+  const double n = static_cast<double>(x.size());
+  const double maha = x.dot(chol.solve(x));
+  return -0.5 * (n * std::log(2.0 * M_PI) + chol.log_determinant() + maha);
+}
+
+double degenerate_gaussian_log_pdf(const Vector& x, const Matrix& cov) {
+  ROBOADS_CHECK(cov.square() && cov.rows() == x.size(),
+                "degenerate_gaussian_log_pdf shape mismatch");
+  const Matrix sym = cov.symmetrized();
+  const std::size_t n = rank(sym);
+  if (n == 0) return 0.0;  // zero-covariance: density collapses to a point
+  const double maha = quadratic_form(pseudo_inverse(sym), x);
+  return -0.5 * (static_cast<double>(n) * std::log(2.0 * M_PI) +
+                 log_pseudo_determinant(sym) + maha);
+}
+
+double degenerate_gaussian_pdf(const Vector& x, const Matrix& cov) {
+  return std::exp(degenerate_gaussian_log_pdf(x, cov));
+}
+
+}  // namespace roboads::stats

@@ -1,0 +1,21 @@
+// Multivariate Gaussian densities, including the degenerate (rank-deficient)
+// case used by the NUISE mode likelihood.
+#pragma once
+
+#include "matrix/matrix.h"
+
+namespace roboads::stats {
+
+// log N(x; 0, cov) for full-rank symmetric positive-definite `cov`.
+double gaussian_log_pdf(const Vector& x, const Matrix& cov);
+
+// Degenerate Gaussian log-density on the support of `cov`:
+//   log [ (2π)^(-n/2) |cov|_+^(-1/2) exp(-x^T cov^† x / 2) ]
+// with n = rank(cov), |·|_+ the pseudo-determinant and (·)^† the
+// pseudo-inverse — exactly the mode likelihood of Algorithm 2, line 20.
+double degenerate_gaussian_log_pdf(const Vector& x, const Matrix& cov);
+
+// Convenience: exp of the above, floored at 0.
+double degenerate_gaussian_pdf(const Vector& x, const Matrix& cov);
+
+}  // namespace roboads::stats

@@ -1,0 +1,76 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roboads::stats {
+
+double ConfusionCounts::false_positive_rate() const {
+  const std::size_t denom = false_positives + true_negatives;
+  return denom ? static_cast<double>(false_positives) / denom : 0.0;
+}
+
+double ConfusionCounts::false_negative_rate() const {
+  const std::size_t denom = false_negatives + true_positives;
+  return denom ? static_cast<double>(false_negatives) / denom : 0.0;
+}
+
+double ConfusionCounts::true_positive_rate() const {
+  const std::size_t denom = false_negatives + true_positives;
+  return denom ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ConfusionCounts::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  return denom ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ConfusionCounts::f1() const {
+  const double p = precision();
+  const double r = true_positive_rate();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& rhs) {
+  true_positives += rhs.true_positives;
+  false_positives += rhs.false_positives;
+  true_negatives += rhs.true_negatives;
+  false_negatives += rhs.false_negatives;
+  return *this;
+}
+
+double roc_auc(std::vector<RocPoint> points) {
+  points.push_back({0.0, 0.0, 0.0});
+  points.push_back({0.0, 1.0, 1.0});
+  std::sort(points.begin(), points.end(), [](const RocPoint& a,
+                                             const RocPoint& b) {
+    if (a.false_positive_rate != b.false_positive_rate)
+      return a.false_positive_rate < b.false_positive_rate;
+    return a.true_positive_rate < b.true_positive_rate;
+  });
+  double area = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx =
+        points[i].false_positive_rate - points[i - 1].false_positive_rate;
+    area += dx * 0.5 *
+            (points[i].true_positive_rate + points[i - 1].true_positive_rate);
+  }
+  return area;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace roboads::stats

@@ -1,0 +1,51 @@
+// Binary-classification metrics used by the evaluation harness to reproduce
+// the paper's effectiveness numbers (FPR/FNR, precision/recall/F1, ROC).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace roboads::stats {
+
+// Counts of per-iteration detection outcomes, using the paper's §V
+// definitions: a true positive is an alarm with the *correct* condition
+// identified; an alarm with the wrong condition counts as a false positive.
+struct ConfusionCounts {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  std::size_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+
+  // FP / (FP + TN); 0 when the denominator is empty.
+  double false_positive_rate() const;
+  // FN / (FN + TP); 0 when the denominator is empty.
+  double false_negative_rate() const;
+  double true_positive_rate() const;  // recall
+  double precision() const;
+  // Harmonic mean of precision and recall (the paper's Fig. 7c/7d metric).
+  double f1() const;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& rhs);
+};
+
+// A single operating point on a ROC curve.
+struct RocPoint {
+  double parameter = 0.0;  // the swept parameter (e.g. α)
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+};
+
+// Area under a ROC curve by trapezoidal rule after sorting by FPR and
+// anchoring at (0,0) and (1,1).
+double roc_auc(std::vector<RocPoint> points);
+
+// Mean / sample standard deviation over a series.
+double mean(const std::vector<double>& xs);
+double sample_stddev(const std::vector<double>& xs);
+
+}  // namespace roboads::stats

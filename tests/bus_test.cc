@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "bus/baseline_detectors.h"
+
+namespace roboads::bus {
+namespace {
+
+Packet make_packet(const std::string& source, std::size_t k, double t,
+                   std::uint64_t id, Vector payload) {
+  Packet p;
+  p.source = source;
+  p.iteration = k;
+  p.arrival_time = t;
+  p.hardware_id = id;
+  p.payload = std::move(payload);
+  return p;
+}
+
+// Nominal 10 Hz traffic from one source over `n` iterations.
+BusLog periodic_log(std::size_t n, double value_step = 0.01) {
+  BusLog log;
+  for (std::size_t k = 0; k < n; ++k) {
+    log.record(make_packet("ips", k, 0.1 * static_cast<double>(k), 0x2222,
+                           Vector{value_step * static_cast<double>(k)}));
+  }
+  return log;
+}
+
+TEST(BusLog, OrdersByArrivalTime) {
+  BusLog log;
+  log.record(make_packet("a", 2, 0.2, 1, Vector{1.0}));
+  log.record(make_packet("a", 1, 0.1, 1, Vector{1.0}));
+  log.record(make_packet("b", 3, 0.15, 2, Vector{1.0}));
+  ASSERT_EQ(log.packets().size(), 3u);
+  EXPECT_DOUBLE_EQ(log.packets()[0].arrival_time, 0.1);
+  EXPECT_DOUBLE_EQ(log.packets()[1].arrival_time, 0.15);
+  EXPECT_DOUBLE_EQ(log.packets()[2].arrival_time, 0.2);
+  EXPECT_EQ(log.from("a").size(), 2u);
+  EXPECT_EQ(log.sources().size(), 2u);
+  EXPECT_THROW(log.record(Packet{}), CheckError);
+}
+
+TEST(TimingMonitor, QuietOnNominalTraffic) {
+  TimingMonitor monitor;
+  EXPECT_TRUE(monitor.analyze(periodic_log(50)).empty());
+}
+
+TEST(TimingMonitor, FlagsInjectedPacket) {
+  BusLog log = periodic_log(50);
+  log.record(make_packet("ips", 25, 2.55, 0xDEAD, Vector{0.0}));
+  const auto alarms = TimingMonitor().analyze(log);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_EQ(alarms.front().source, "ips");
+}
+
+TEST(TimingMonitor, FlagsMissingPacketGap) {
+  BusLog log;
+  for (std::size_t k = 0; k < 50; ++k) {
+    if (k == 25) continue;  // one dropped packet → double gap
+    log.record(make_packet("ips", k, 0.1 * static_cast<double>(k), 1,
+                           Vector{0.0}));
+  }
+  EXPECT_FALSE(TimingMonitor().analyze(log).empty());
+}
+
+TEST(TimingMonitor, FlagsSilenceAfterCutWire) {
+  // Source stops at 2.0 s while the bus (other source) runs to 5.0 s.
+  BusLog log = periodic_log(20);
+  for (std::size_t k = 0; k < 50; ++k) {
+    log.record(make_packet("odometry", k, 0.1 * static_cast<double>(k), 2,
+                           Vector{0.0}));
+  }
+  const auto alarms = TimingMonitor().analyze(log);
+  std::size_t ips_alarms = 0;
+  for (const BaselineAlarm& a : alarms) {
+    if (a.source == "ips") ++ips_alarms;
+  }
+  EXPECT_GE(ips_alarms, 20u);  // ~one per missed period
+}
+
+TEST(FingerprintMonitor, FlagsForeignAndUnenrolled) {
+  FingerprintMonitor monitor;
+  monitor.enroll("ips", 0x2222);
+  BusLog log = periodic_log(10);
+  EXPECT_TRUE(monitor.analyze(log).empty());
+
+  log.record(make_packet("ips", 11, 1.1, 0xDEAD, Vector{0.0}));
+  auto alarms = monitor.analyze(log);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].reason.find("fingerprint"), 0u);
+
+  log.record(make_packet("mystery", 11, 1.15, 0x1, Vector{0.0}));
+  alarms = monitor.analyze(log);
+  EXPECT_EQ(alarms.size(), 2u);
+  EXPECT_THROW(monitor.enroll("", 1), CheckError);
+}
+
+TEST(ContentEnvelopeMonitor, QuietOnTrainedDistribution) {
+  ContentEnvelopeMonitor monitor;
+  monitor.train(periodic_log(100));
+  EXPECT_TRUE(monitor.trained());
+  EXPECT_TRUE(monitor.analyze(periodic_log(100)).empty());
+}
+
+TEST(ContentEnvelopeMonitor, FlagsRangeAndRateViolations) {
+  ContentEnvelopeMonitor monitor;
+  monitor.train(periodic_log(100));  // values in [0, 0.99], deltas 0.01
+
+  // Range violation.
+  BusLog out_of_range = periodic_log(10);
+  out_of_range.record(make_packet("ips", 11, 1.1, 1, Vector{5.0}));
+  EXPECT_FALSE(monitor.analyze(out_of_range).empty());
+
+  // Rate violation within range.
+  BusLog jumpy;
+  jumpy.record(make_packet("ips", 0, 0.0, 1, Vector{0.1}));
+  jumpy.record(make_packet("ips", 1, 0.1, 1, Vector{0.9}));
+  EXPECT_FALSE(monitor.analyze(jumpy).empty());
+
+  // Slow drift within the learned delta envelope evades (§II-C).
+  BusLog drift;
+  for (std::size_t k = 0; k < 50; ++k) {
+    drift.record(make_packet("ips", k, 0.1 * static_cast<double>(k), 1,
+                             Vector{0.005 * static_cast<double>(k)}));
+  }
+  EXPECT_TRUE(monitor.analyze(drift).empty());
+}
+
+TEST(ContentEnvelopeMonitor, RequiresTraining) {
+  ContentEnvelopeMonitor monitor;
+  EXPECT_THROW(monitor.analyze(periodic_log(5)), CheckError);
+}
+
+TEST(ImplicatedSources, Deduplicates) {
+  std::vector<BaselineAlarm> alarms = {{"a", 1, "x"}, {"a", 2, "y"},
+                                       {"b", 3, "z"}};
+  const auto sources = implicated_sources(alarms);
+  EXPECT_EQ(sources.size(), 2u);
+  EXPECT_TRUE(sources.count("a"));
+  EXPECT_TRUE(sources.count("b"));
+}
+
+}  // namespace
+}  // namespace roboads::bus

@@ -1,0 +1,225 @@
+// Decision maker unit tests: χ² thresholds, sliding windows, per-sensor
+// attribution (Algorithm 1 lines 10-25).
+#include <gtest/gtest.h>
+
+#include "core/decision.h"
+#include "dynamics/diff_drive.h"
+#include "sensors/standard_sensors.h"
+#include "stats/chi_square.h"
+
+namespace roboads::core {
+namespace {
+
+sensors::SensorSuite make_suite() {
+  return sensors::SensorSuite({
+      sensors::make_wheel_odometry(3, 0.01, 0.02),
+      sensors::make_ips(3, 0.005, 0.01),
+      sensors::make_lidar_nav(3, 2.0, 0.03, 0.03),
+  });
+}
+
+Mode ips_reference_mode() { return Mode{"ref:ips", {1}, {0, 2}}; }
+
+// Builds a NuiseResult with chosen anomaly magnitudes and identity-scaled
+// covariances so the χ² statistics are exactly the squared norms.
+NuiseResult synthetic_result(const Vector& sensor_anomaly,
+                             const Vector& actuator_anomaly) {
+  NuiseResult r;
+  r.sensor_anomaly = sensor_anomaly;
+  r.sensor_anomaly_cov = Matrix::identity(sensor_anomaly.size());
+  r.actuator_anomaly = actuator_anomaly;
+  r.actuator_anomaly_cov = Matrix::identity(actuator_anomaly.size());
+  r.state = Vector(3);
+  r.state_cov = Matrix::identity(3);
+  return r;
+}
+
+TEST(DecisionMaker, RejectsInvalidConfig) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionConfig cfg;
+  cfg.sensor_alpha = 0.0;
+  EXPECT_THROW(DecisionMaker(suite, cfg), CheckError);
+  cfg = DecisionConfig{};
+  cfg.actuator_window = {2, 3};  // c > w
+  EXPECT_THROW(DecisionMaker(suite, cfg), CheckError);
+  cfg = DecisionConfig{};
+  cfg.sensor_window = {0, 0};
+  EXPECT_THROW(DecisionMaker(suite, cfg), CheckError);
+}
+
+TEST(DecisionMaker, NoAlarmOnSmallAnomalies) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});
+  const Decision d = dm.evaluate(ips_reference_mode(),
+                                 synthetic_result(Vector(7), Vector(2)));
+  EXPECT_FALSE(d.sensor_test_positive);
+  EXPECT_FALSE(d.sensor_alarm);
+  EXPECT_FALSE(d.actuator_test_positive);
+  EXPECT_FALSE(d.actuator_alarm);
+  EXPECT_TRUE(d.misbehaving_sensors.empty());
+}
+
+TEST(DecisionMaker, StatisticsMatchChiSquareForm) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});
+  Vector ds(7);
+  ds[0] = 3.0;  // statistic = 9 with identity covariance
+  Vector da{1.0, 2.0};
+  const Decision d =
+      dm.evaluate(ips_reference_mode(), synthetic_result(ds, da));
+  EXPECT_NEAR(d.sensor_statistic, 9.0, 1e-12);
+  EXPECT_NEAR(d.sensor_threshold, stats::chi_square_threshold(0.005, 7),
+              1e-9);
+  EXPECT_NEAR(d.actuator_statistic, 5.0, 1e-12);
+  EXPECT_NEAR(d.actuator_threshold, stats::chi_square_threshold(0.05, 2),
+              1e-9);
+}
+
+TEST(DecisionMaker, SlidingWindowDelaysSensorAlarm) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionConfig cfg;
+  cfg.sensor_window = {2, 2};  // paper's sensor c/w = 2/2
+  DecisionMaker dm(suite, cfg);
+
+  Vector ds(7);
+  ds[0] = 10.0;  // far above any threshold
+  // First positive: test fires, alarm not yet (needs 2 of last 2).
+  Decision d1 = dm.evaluate(ips_reference_mode(),
+                            synthetic_result(ds, Vector(2)));
+  EXPECT_TRUE(d1.sensor_test_positive);
+  EXPECT_FALSE(d1.sensor_alarm);
+  // Second consecutive positive: alarm.
+  Decision d2 = dm.evaluate(ips_reference_mode(),
+                            synthetic_result(ds, Vector(2)));
+  EXPECT_TRUE(d2.sensor_alarm);
+}
+
+TEST(DecisionMaker, TransientPositiveSuppressed) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionConfig cfg;
+  cfg.sensor_window = {2, 2};
+  DecisionMaker dm(suite, cfg);
+
+  Vector big(7);
+  big[0] = 10.0;
+  // Single bump followed by clean iterations never raises the alarm —
+  // exactly the transient-fault tolerance the window exists for (§IV-D).
+  Decision d = dm.evaluate(ips_reference_mode(),
+                           synthetic_result(big, Vector(2)));
+  EXPECT_FALSE(d.sensor_alarm);
+  for (int i = 0; i < 5; ++i) {
+    d = dm.evaluate(ips_reference_mode(),
+                    synthetic_result(Vector(7), Vector(2)));
+    EXPECT_FALSE(d.sensor_alarm);
+  }
+}
+
+TEST(DecisionMaker, ActuatorWindowThreeOfSix) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});  // actuator c/w = 3/6
+
+  Vector da{5.0, 5.0};
+  Decision d;
+  // Two positives: no alarm yet.
+  for (int i = 0; i < 2; ++i) {
+    d = dm.evaluate(ips_reference_mode(), synthetic_result(Vector(7), da));
+    EXPECT_FALSE(d.actuator_alarm) << "iteration " << i;
+  }
+  // Third positive within the window: alarm fires.
+  d = dm.evaluate(ips_reference_mode(), synthetic_result(Vector(7), da));
+  EXPECT_TRUE(d.actuator_alarm);
+  // Positives age out after six clean iterations.
+  for (int i = 0; i < 6; ++i)
+    d = dm.evaluate(ips_reference_mode(),
+                    synthetic_result(Vector(7), Vector(2)));
+  EXPECT_FALSE(d.actuator_alarm);
+}
+
+TEST(DecisionMaker, AttributesTheRightSensor) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});
+
+  // Large anomaly confined to the LiDAR block (testing layout: odometry
+  // occupies 0..2, lidar 3..6 in the ref:ips mode).
+  Vector ds(7);
+  ds[4] = 8.0;
+  Decision d;
+  for (int i = 0; i < 3; ++i)
+    d = dm.evaluate(ips_reference_mode(), synthetic_result(ds, Vector(2)));
+  ASSERT_TRUE(d.sensor_alarm);
+  ASSERT_EQ(d.misbehaving_sensors.size(), 1u);
+  EXPECT_EQ(d.misbehaving_sensors[0], 2u);  // suite index of lidar
+
+  // Verdicts cover both testing sensors with correct indices.
+  ASSERT_EQ(d.sensor_verdicts.size(), 2u);
+  EXPECT_EQ(d.sensor_verdicts[0].sensor_index, 0u);
+  EXPECT_FALSE(d.sensor_verdicts[0].misbehaving);
+  EXPECT_EQ(d.sensor_verdicts[1].sensor_index, 2u);
+  EXPECT_TRUE(d.sensor_verdicts[1].misbehaving);
+  EXPECT_EQ(d.sensor_verdicts[1].anomaly_estimate.size(), 4u);
+}
+
+TEST(DecisionMaker, AttributesMultipleSensors) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});
+  Vector ds(7);
+  ds[0] = 8.0;  // odometry
+  ds[4] = 8.0;  // lidar
+  Decision d;
+  for (int i = 0; i < 3; ++i)
+    d = dm.evaluate(ips_reference_mode(), synthetic_result(ds, Vector(2)));
+  ASSERT_TRUE(d.sensor_alarm);
+  EXPECT_EQ(d.misbehaving_sensors, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(DecisionMaker, ResetClearsWindows) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionConfig cfg;
+  cfg.sensor_window = {2, 2};
+  DecisionMaker dm(suite, cfg);
+  Vector ds(7);
+  ds[0] = 10.0;
+  dm.evaluate(ips_reference_mode(), synthetic_result(ds, Vector(2)));
+  dm.reset();
+  // After reset a single positive is again insufficient.
+  const Decision d = dm.evaluate(ips_reference_mode(),
+                                 synthetic_result(ds, Vector(2)));
+  EXPECT_FALSE(d.sensor_alarm);
+}
+
+// The c/w parameter space of Fig. 7 must behave monotonically: a stricter
+// criteria never alarms earlier than a looser one.
+class WindowProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(WindowProperty, AlarmRequiresExactlyCriteriaPositives) {
+  const auto [w, c] = GetParam();
+  if (c > w) GTEST_SKIP();
+  const sensors::SensorSuite suite = make_suite();
+  DecisionConfig cfg;
+  cfg.sensor_window = {w, c};
+  DecisionMaker dm(suite, cfg);
+
+  Vector ds(7);
+  ds[0] = 10.0;
+  std::size_t first_alarm = 0;
+  for (std::size_t i = 1; i <= w + 2; ++i) {
+    const Decision d = dm.evaluate(ips_reference_mode(),
+                                   synthetic_result(ds, Vector(2)));
+    if (d.sensor_alarm) {
+      first_alarm = i;
+      break;
+    }
+  }
+  // With every iteration positive, the alarm fires exactly at iteration c.
+  EXPECT_EQ(first_alarm, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowGrid, WindowProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 4, 6),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4, 6)));
+
+}  // namespace
+}  // namespace roboads::core

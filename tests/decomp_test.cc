@@ -1,0 +1,201 @@
+#include "matrix/decomp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace roboads {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  Matrix m(rows, cols);
+  unsigned state = seed;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      state = state * 1664525u + 1013904223u;
+      m(i, j) = static_cast<double>(state % 4001) / 1000.0 - 2.0;
+    }
+  return m;
+}
+
+Matrix random_spd(std::size_t n, unsigned seed) {
+  const Matrix a = random_matrix(n, n, seed);
+  return (a * a.transpose() + Matrix::identity(n) * 0.5).symmetrized();
+}
+
+void expect_near(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_NEAR(a(i, j), b(i, j), tol) << "at (" << i << "," << j << ")";
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector x = Lu(a).solve(Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, DeterminantMatchesCofactorExpansion) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 10.0}};
+  EXPECT_NEAR(Lu(a).determinant(), -3.0, 1e-10);
+}
+
+TEST(Lu, SingularMatrixReported) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  Lu lu(a);
+  EXPECT_FALSE(lu.invertible());
+  EXPECT_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(Vector{1.0, 1.0}), CheckError);
+}
+
+TEST(Lu, NonSquareThrows) { EXPECT_THROW(Lu(Matrix(2, 3)), CheckError); }
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  Vector x = Lu(a).solve(Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix a = random_spd(4, 11u);
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  expect_near(chol.l() * chol.l().transpose(), a, 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(Cholesky, LogDeterminantMatchesLu) {
+  const Matrix a = random_spd(5, 23u);
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol.log_determinant(), std::log(Lu(a).determinant()), 1e-9);
+}
+
+TEST(EigenSymmetric, DiagonalMatrix) {
+  const SymmetricEigen e = eigen_symmetric(Matrix::diagonal(Vector{1.0, 3.0, 2.0}));
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenSymmetric, KnownEigenpair) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const SymmetricEigen e = eigen_symmetric(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(Svd, ReconstructsRectangular) {
+  const Matrix a = random_matrix(5, 3, 31u);
+  const Svd s = svd(a);
+  const Matrix rebuilt = s.u * Matrix::diagonal(s.sigma) * s.v.transpose();
+  expect_near(rebuilt, a, 1e-9);
+  // Singular values sorted descending and non-negative.
+  for (std::size_t i = 0; i + 1 < s.sigma.size(); ++i) {
+    EXPECT_GE(s.sigma[i], s.sigma[i + 1]);
+    EXPECT_GE(s.sigma[i + 1], 0.0);
+  }
+}
+
+TEST(Svd, WideMatrix) {
+  const Matrix a = random_matrix(2, 6, 37u);
+  const Svd s = svd(a);
+  expect_near(s.u * Matrix::diagonal(s.sigma) * s.v.transpose(), a, 1e-9);
+}
+
+TEST(Rank, DetectsDeficiency) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(rank(a), 1u);
+  EXPECT_EQ(rank(Matrix::identity(3)), 3u);
+  EXPECT_EQ(rank(Matrix(3, 3)), 0u);
+}
+
+TEST(PseudoInverse, MatchesInverseWhenFullRank) {
+  const Matrix a = random_spd(3, 41u);
+  expect_near(pseudo_inverse(a), Lu(a).inverse(), 1e-8);
+}
+
+TEST(PseudoInverse, MoorePenroseConditions) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}, {0.0, 0.0}};  // rank 1, 3x2
+  const Matrix p = pseudo_inverse(a);
+  expect_near(a * p * a, a, 1e-9);
+  expect_near(p * a * p, p, 1e-9);
+  expect_near((a * p).transpose(), a * p, 1e-9);
+  expect_near((p * a).transpose(), p * a, 1e-9);
+}
+
+TEST(PseudoDeterminant, ProductOfNonzeroEigenvalues) {
+  // diag(2, 3, 0): pseudo-determinant is 6.
+  EXPECT_NEAR(pseudo_determinant(Matrix::diagonal(Vector{2.0, 3.0, 0.0})), 6.0,
+              1e-9);
+  EXPECT_NEAR(log_pseudo_determinant(Matrix::diagonal(Vector{2.0, 3.0, 0.0})),
+              std::log(6.0), 1e-9);
+}
+
+TEST(SolveSpd, CholeskyPathAndFallback) {
+  const Matrix a = random_spd(3, 53u);
+  const Vector b{1.0, -2.0, 0.5};
+  const Vector x = solve_spd(a, b);
+  EXPECT_NEAR((a * x - b).norm(), 0.0, 1e-9);
+
+  // Singular PSD: solve in least-squares sense on the range.
+  Matrix s = Matrix::diagonal(Vector{1.0, 0.0});
+  const Vector y = solve_spd(s, Vector{2.0, 0.0});
+  EXPECT_NEAR(y[0], 2.0, 1e-9);
+  EXPECT_NEAR(y[1], 0.0, 1e-9);
+}
+
+TEST(InverseSpd, AgreesWithLu) {
+  const Matrix a = random_spd(4, 61u);
+  expect_near(inverse_spd(a), Lu(a).inverse(), 1e-8);
+}
+
+// Factorization round-trips across sizes and seeds.
+class DecompProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecompProperty, LuSolveRoundTrip) {
+  const auto [n, seed] = GetParam();
+  const Matrix a =
+      random_matrix(n, n, static_cast<unsigned>(seed)) +
+      Matrix::identity(n) * 5.0;  // diagonally dominant => well-conditioned
+  const Vector x_true = random_matrix(n, 1, static_cast<unsigned>(seed) + 7u).col(0);
+  const Vector x = Lu(a).solve(a * x_true);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST_P(DecompProperty, InverseProductIsIdentity) {
+  const auto [n, seed] = GetParam();
+  const Matrix a = random_spd(n, static_cast<unsigned>(seed) * 101u + 3u);
+  expect_near(a * Lu(a).inverse(), Matrix::identity(n), 1e-8);
+  expect_near(a * Cholesky(a).inverse(), Matrix::identity(n), 1e-8);
+}
+
+TEST_P(DecompProperty, EigenDecompositionReconstructs) {
+  const auto [n, seed] = GetParam();
+  const Matrix a = random_spd(n, static_cast<unsigned>(seed) * 211u + 5u);
+  const SymmetricEigen e = eigen_symmetric(a);
+  const Matrix rebuilt =
+      e.eigenvectors * Matrix::diagonal(e.eigenvalues) * e.eigenvectors.transpose();
+  expect_near(rebuilt, a, 1e-8);
+  // Orthonormality of eigenvectors.
+  expect_near(e.eigenvectors.transpose() * e.eigenvectors,
+              Matrix::identity(n), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, DecompProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace roboads

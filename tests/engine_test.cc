@@ -1,0 +1,200 @@
+// Multi-mode engine + mode selector behavior (Algorithm 1, lines 4-9).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dynamics/diff_drive.h"
+#include "random/rng.h"
+#include "sensors/standard_sensors.h"
+
+namespace roboads::core {
+namespace {
+
+using dyn::DiffDrive;
+using sensors::SensorSuite;
+
+struct EngineRig {
+  DiffDrive model{{.axle_length = 0.089, .dt = 0.1}};
+  SensorSuite suite{{
+      sensors::make_wheel_odometry(3, 0.01, 0.02),
+      sensors::make_ips(3, 0.005, 0.01),
+      sensors::make_lidar_nav(3, 2.0, 0.03, 0.03),
+  }};
+  Matrix q = Matrix::diagonal(Vector{2.5e-7, 2.5e-7, 1e-6});
+  Rng rng{777};
+
+  MultiModeEngine make_engine(const Vector& x0) {
+    return MultiModeEngine(model, suite, one_reference_per_sensor(suite), q,
+                           x0, Matrix::identity(3) * 1e-4);
+  }
+
+  Vector simulate_step(Vector& x_true, const Vector& u,
+                       const Vector& d_sens) {
+    GaussianSampler proc(q);
+    x_true = model.step(x_true, u) + proc.sample(rng);
+    Vector z = suite.measure(suite.all(), x_true) + d_sens;
+    for (std::size_t i = 0; i < suite.count(); ++i) {
+      GaussianSampler meas(suite.sensor(i).noise_covariance());
+      const Vector noise = meas.sample(rng);
+      for (std::size_t j = 0; j < noise.size(); ++j)
+        z[suite.offset(i) + j] += noise[j];
+    }
+    return z;
+  }
+};
+
+TEST(ModeSet, OneReferencePerSensor) {
+  EngineRig rig;
+  const std::vector<Mode> modes = one_reference_per_sensor(rig.suite);
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0].label, "ref:wheel_encoder");
+  EXPECT_EQ(modes[0].reference, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(modes[0].testing, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(modes[2].reference, (std::vector<std::size_t>{2}));
+  validate_modes(modes, rig.suite);
+}
+
+TEST(ModeSet, CompleteSetHasTwoToPMinusOne) {
+  EngineRig rig;
+  const std::vector<Mode> modes = complete_mode_set(rig.suite);
+  EXPECT_EQ(modes.size(), 7u);  // 2^3 − 1
+  validate_modes(modes, rig.suite);
+  // Exactly one mode has all sensors as reference.
+  std::size_t full = 0;
+  for (const Mode& m : modes)
+    if (m.reference.size() == 3) ++full;
+  EXPECT_EQ(full, 1u);
+}
+
+TEST(ModeSet, ValidationCatchesBadModes) {
+  EngineRig rig;
+  EXPECT_THROW(validate_modes({}, rig.suite), CheckError);
+  EXPECT_THROW(validate_modes({Mode{"m", {}, {0, 1, 2}}, }, rig.suite),
+               CheckError);
+  EXPECT_THROW(validate_modes({Mode{"m", {0}, {1}}}, rig.suite), CheckError);
+  EXPECT_THROW(validate_modes({Mode{"m", {0, 0}, {1, 2}}}, rig.suite),
+               CheckError);
+  EXPECT_THROW(validate_modes({Mode{"m", {1, 0}, {2}}}, rig.suite),
+               CheckError);
+  EXPECT_THROW(validate_modes({Mode{"m", {0, 5}, {1, 2}}}, rig.suite),
+               CheckError);
+}
+
+TEST(Engine, WeightsStayNormalizedAndFloored) {
+  EngineRig rig;
+  Vector x_true{0.5, 0.5, 0.0};
+  MultiModeEngine engine = rig.make_engine(x_true);
+
+  for (std::size_t k = 0; k < 50; ++k) {
+    const Vector u{0.05, 0.05};
+    const Vector z = rig.simulate_step(x_true, u, Vector(10));
+    const EngineResult r = engine.step(u, z);
+    double sum = 0.0;
+    for (double w : r.mode_weights) {
+      EXPECT_GT(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Engine, CleanRunKeepsAllModesAlive) {
+  EngineRig rig;
+  Vector x_true{0.5, 0.5, 0.0};
+  MultiModeEngine engine = rig.make_engine(x_true);
+
+  EngineResult last;
+  for (std::size_t k = 0; k < 100; ++k) {
+    const Vector u{0.05, 0.055};
+    last = engine.step(u, rig.simulate_step(x_true, u, Vector(10)));
+  }
+  // The likelihood recursion concentrates weight on the sharpest-likelihood
+  // clean mode, but the ε floor (Algorithm 1 line 6) must keep every
+  // hypothesis recoverable — no weight may fall below (half) the floor.
+  for (double w : last.mode_weights) EXPECT_GT(w, 5e-10);
+  // And the winning hypothesis is a clean one by construction here, so its
+  // state estimate tracks truth.
+  EXPECT_NEAR(engine.state()[0], x_true[0], 0.05);
+  EXPECT_NEAR(engine.state()[1], x_true[1], 0.05);
+}
+
+TEST(Engine, SelectsModeWhoseReferenceIsClean) {
+  EngineRig rig;
+  Vector x_true{0.5, 0.5, 0.0};
+  MultiModeEngine engine = rig.make_engine(x_true);
+
+  // Corrupt IPS (suite index 1) *and* wheel odometry (index 0): only the
+  // LiDAR-reference mode (index 2) trusts exclusively clean data. This is
+  // the paper's majority-corrupted case (§V-C scenarios #9-#11): detection
+  // without majority voting.
+  Vector d_sens(10);
+  d_sens[0] = 0.15;  // odometry x
+  d_sens[3] = -0.2;  // ips x
+
+  std::size_t selected = 0;
+  for (std::size_t k = 0; k < 60; ++k) {
+    const Vector u{0.05, 0.05};
+    const EngineResult r =
+        engine.step(u, rig.simulate_step(x_true, u, d_sens));
+    selected = r.selected_mode;
+  }
+  EXPECT_EQ(selected, 2u);  // ref:lidar
+}
+
+TEST(Engine, RecoversAfterAttackStops) {
+  EngineRig rig;
+  Vector x_true{0.5, 0.5, 0.0};
+  MultiModeEngine engine = rig.make_engine(x_true);
+
+  Vector d_sens(10);
+  d_sens[3] = 0.2;  // spoof IPS
+  for (std::size_t k = 0; k < 40; ++k) {
+    const Vector u{0.05, 0.05};
+    engine.step(u, rig.simulate_step(x_true, u, d_sens));
+  }
+  // While the attack runs, the engine must not trust the spoofed IPS.
+  {
+    const Vector u{0.05, 0.05};
+    const EngineResult during =
+        engine.step(u, rig.simulate_step(x_true, u, d_sens));
+    EXPECT_NE(during.selected_mode, 1u);
+  }
+
+  // Attack ends; thanks to the ε floor the IPS-reference hypothesis is
+  // still recoverable and the engine tracks cleanly again.
+  EngineResult last;
+  for (std::size_t k = 0; k < 60; ++k) {
+    const Vector u{0.05, 0.05};
+    last = engine.step(u, rig.simulate_step(x_true, u, Vector(10)));
+  }
+  EXPECT_NEAR(engine.state()[0], x_true[0], 0.05);
+  EXPECT_NEAR(engine.state()[1], x_true[1], 0.05);
+  for (double w : last.mode_weights) EXPECT_GT(w, 5e-10);
+}
+
+TEST(Engine, ResetRestoresUniformWeights) {
+  EngineRig rig;
+  Vector x_true{0.5, 0.5, 0.0};
+  MultiModeEngine engine = rig.make_engine(x_true);
+  Vector d_sens(10);
+  d_sens[3] = 0.2;
+  for (std::size_t k = 0; k < 20; ++k) {
+    const Vector u{0.05, 0.05};
+    engine.step(u, rig.simulate_step(x_true, u, d_sens));
+  }
+  engine.reset(x_true, Matrix::identity(3) * 1e-4);
+  for (double w : engine.weights()) EXPECT_NEAR(w, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(engine.state(), x_true);
+}
+
+TEST(Engine, RejectsBadConfig) {
+  EngineRig rig;
+  EngineConfig cfg;
+  cfg.likelihood_floor = 0.5;  // >= 1/M for M=3
+  EXPECT_THROW(MultiModeEngine(rig.model, rig.suite,
+                               one_reference_per_sensor(rig.suite), rig.q,
+                               Vector(3), Matrix::identity(3), cfg),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace roboads::core

@@ -1,0 +1,202 @@
+// LiDAR simulation and scan-processing pipeline tests, including the
+// calibration property the estimator depends on: the processed navigation
+// reading must match the LidarNavSensor measurement model within its
+// configured noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/injector.h"
+#include "sim/lidar.h"
+#include "sim/workflow.h"
+
+namespace roboads::sim {
+namespace {
+
+World empty_arena() { return World(2.0, 1.5); }
+
+LidarConfig noiseless_config() {
+  LidarConfig cfg;
+  cfg.fov = 2.0 * M_PI;
+  cfg.beam_count = 81;
+  cfg.max_range = 5.0;
+  cfg.range_noise_stddev = 0.0;
+  return cfg;
+}
+
+TEST(LidarScanner, RejectsBadConfig) {
+  LidarConfig cfg;
+  cfg.beam_count = 1;
+  EXPECT_THROW(LidarScanner{cfg}, CheckError);
+  cfg = LidarConfig{};
+  cfg.fov = 0.0;
+  EXPECT_THROW(LidarScanner{cfg}, CheckError);
+  cfg = LidarConfig{};
+  cfg.max_range = -1.0;
+  EXPECT_THROW(LidarScanner{cfg}, CheckError);
+}
+
+TEST(LidarScanner, BeamAnglesSpanFov) {
+  LidarScanner scanner(noiseless_config());
+  EXPECT_NEAR(scanner.beam_angle(0), -M_PI, 1e-12);
+  EXPECT_NEAR(scanner.beam_angle(80), M_PI, 1e-12);
+  EXPECT_NEAR(scanner.beam_angle(40), 0.0, 1e-12);
+  EXPECT_THROW(scanner.beam_angle(81), CheckError);
+}
+
+TEST(LidarScanner, RangesMatchGeometry) {
+  const World world = empty_arena();
+  LidarScanner scanner(noiseless_config());
+  Rng rng(1);
+  // Robot at the center facing east: front beam hits the east wall.
+  const Vector ranges = scanner.scan(world, Vector{1.0, 0.75, 0.0}, rng);
+  EXPECT_NEAR(ranges[40], 1.0, 1e-9);   // east at 1.0 m
+  EXPECT_NEAR(ranges[0], 1.0, 1e-9);    // west behind at 1.0 m
+  EXPECT_NEAR(ranges[20], 0.75, 1e-9);  // south at 0.75 m (beam -π/2)
+  EXPECT_NEAR(ranges[60], 0.75, 1e-9);  // north
+}
+
+TEST(LidarScanner, NoiseIsBoundedAndSeeded) {
+  const World world = empty_arena();
+  LidarConfig cfg = noiseless_config();
+  cfg.range_noise_stddev = 0.01;
+  LidarScanner scanner(cfg);
+  Rng a(7), b(7);
+  const Vector ra = scanner.scan(world, Vector{1.0, 0.75, 0.3}, a);
+  const Vector rb = scanner.scan(world, Vector{1.0, 0.75, 0.3}, b);
+  EXPECT_EQ(ra, rb);  // deterministic per seed
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_GE(ra[i], 0.0);
+    EXPECT_LE(ra[i], cfg.max_range);
+  }
+}
+
+TEST(ScanProcessor, ExtractsFourWallsFromCleanScan) {
+  const World world = empty_arena();
+  LidarScanner scanner(noiseless_config());
+  ScanProcessor processor(ScanProcessorConfig{}, 2.0, 1.5);
+  Rng rng(3);
+  const Vector pose{0.6, 0.5, 0.4};
+  const Vector ranges = scanner.scan(world, pose, rng);
+  const auto lines = processor.extract_lines(scanner, ranges);
+  // An empty rectangular arena yields the four wall lines; the wall crossing
+  // the ±π scan wrap may split into two chunks.
+  EXPECT_GE(lines.size(), 4u);
+  EXPECT_LE(lines.size(), 6u);
+}
+
+TEST(ScanProcessor, ReadingMatchesMeasurementModel) {
+  const World world = empty_arena();
+  LidarScanner scanner(noiseless_config());
+  ScanProcessor processor(ScanProcessorConfig{}, 2.0, 1.5);
+  Rng rng(5);
+  const Vector pose{0.6, 0.5, 0.4};
+  const ProcessedScan out =
+      processor.process(scanner, scanner.scan(world, pose, rng), pose);
+  ASSERT_TRUE(out.any_wall_matched);
+  EXPECT_TRUE(out.all_walls_matched);
+  EXPECT_NEAR(out.reading[0], 0.6, 0.01);        // d_west = x
+  EXPECT_NEAR(out.reading[1], 0.5, 0.01);        // d_south = y
+  EXPECT_NEAR(out.reading[2], 2.0 - 0.6, 0.01);  // d_east = W - x
+  EXPECT_NEAR(out.reading[3], 0.4, 0.01);        // θ
+}
+
+TEST(ScanProcessor, ToleratesStaleHint) {
+  // The hint may lag the true pose by several centimeters / a few degrees
+  // (its role is only wall disambiguation).
+  const World world = empty_arena();
+  LidarScanner scanner(noiseless_config());
+  ScanProcessor processor(ScanProcessorConfig{}, 2.0, 1.5);
+  Rng rng(5);
+  const Vector pose{0.6, 0.5, 0.4};
+  const Vector stale_hint{0.52, 0.56, 0.3};
+  const ProcessedScan out =
+      processor.process(scanner, scanner.scan(world, pose, rng), stale_hint);
+  ASSERT_TRUE(out.any_wall_matched);
+  EXPECT_NEAR(out.reading[0], 0.6, 0.02);
+  EXPECT_NEAR(out.reading[3], 0.4, 0.02);
+}
+
+TEST(ScanProcessor, DosScanYieldsZeros) {
+  LidarScanner scanner(noiseless_config());
+  ScanProcessor processor(ScanProcessorConfig{}, 2.0, 1.5);
+  const Vector zero_ranges(81);
+  const ProcessedScan out =
+      processor.process(scanner, zero_ranges, Vector{1.0, 0.75, 0.0});
+  EXPECT_FALSE(out.any_wall_matched);
+  EXPECT_EQ(out.reading, (Vector{0.0, 0.0, 0.0, 0.0}));
+}
+
+TEST(ScanProcessor, ObstacleLinesAreRejectedByGating) {
+  // Obstacle faces sit far from any expected wall distance and are gated
+  // out of the wall assignment.
+  const World world(2.0, 1.5, {geom::Aabb{{0.9, 0.6}, {1.1, 0.9}}});
+  LidarScanner scanner(noiseless_config());
+  ScanProcessor processor(ScanProcessorConfig{}, 2.0, 1.5);
+  Rng rng(9);
+  const Vector pose{0.4, 0.75, 0.0};  // obstacle 0.5 m ahead
+  const ProcessedScan out =
+      processor.process(scanner, scanner.scan(world, pose, rng), pose);
+  ASSERT_TRUE(out.any_wall_matched);
+  EXPECT_NEAR(out.reading[0], 0.4, 0.02);   // west unobstructed
+  EXPECT_NEAR(out.reading[1], 0.75, 0.02);  // south unobstructed
+}
+
+TEST(ScanProcessorCalibration, CleanResidualsWithinModelNoise) {
+  // Property the estimator relies on: over a sweep of poses, the processed
+  // reading's error against h(x) = (x, y, W−x, θ) stays within the
+  // estimator-side noise model (range σ = 0.015, heading σ = 0.02).
+  const World world = empty_arena();
+  LidarConfig cfg = noiseless_config();
+  cfg.range_noise_stddev = 0.008;
+  LidarScanner scanner(cfg);
+  ScanProcessor processor(ScanProcessorConfig{}, 2.0, 1.5);
+  Rng rng(11);
+
+  double worst_range_err = 0.0;
+  double worst_heading_err = 0.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vector pose{rng.uniform(0.3, 1.7), rng.uniform(0.3, 1.2),
+                      rng.uniform(-M_PI, M_PI)};
+    const ProcessedScan out =
+        processor.process(scanner, scanner.scan(world, pose, rng), pose);
+    ASSERT_TRUE(out.all_walls_matched);
+    worst_range_err =
+        std::max({worst_range_err, std::abs(out.reading[0] - pose[0]),
+                  std::abs(out.reading[1] - pose[1]),
+                  std::abs(out.reading[2] - (2.0 - pose[0]))});
+    worst_heading_err =
+        std::max(worst_heading_err,
+                 std::abs(geom::angle_diff(out.reading[3], pose[2])));
+  }
+  // 3σ of the estimator model bounds the worst observed extraction error.
+  EXPECT_LT(worst_range_err, 3.0 * 0.015);
+  EXPECT_LT(worst_heading_err, 3.0 * 0.02);
+}
+
+TEST(LidarWorkflow, TracksPoseAndSurvivesDos) {
+  const World world = empty_arena();
+  LidarConfig cfg = noiseless_config();
+  cfg.range_noise_stddev = 0.008;
+  LidarSensingWorkflow workflow(world, cfg, ScanProcessorConfig{},
+                                Vector{0.5, 0.5, 0.0});
+  // DoS between iterations 10 and 20.
+  workflow.attach_raw_injector(std::make_shared<attacks::ReplaceInjector>(
+      attacks::Window{10, 20}, cfg.beam_count, 0.0));
+  Rng rng(13);
+
+  Vector pose{0.5, 0.5, 0.0};
+  for (std::size_t k = 1; k <= 30; ++k) {
+    pose[0] += 0.005;  // slow eastward drift
+    const Vector reading = workflow.sense(k, pose, rng);
+    if (k >= 10 && k < 20) {
+      EXPECT_EQ(reading, (Vector{0.0, 0.0, 0.0, 0.0})) << "k=" << k;
+    } else if (k >= 22) {
+      // Recovers after the DoS because the hint re-locks via wall gating.
+      EXPECT_NEAR(reading[0], pose[0], 0.05) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace roboads::sim

@@ -1,0 +1,277 @@
+#include "matrix/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace roboads {
+namespace {
+
+TEST(Vector, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizedConstructionZeroFills) {
+  Vector v(4);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(Vector, OutOfRangeThrows) {
+  Vector v{1.0};
+  EXPECT_THROW(v[1], CheckError);
+  const Vector& cv = v;
+  EXPECT_THROW(cv[5], CheckError);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vector{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vector{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vector{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vector{-1.0, -2.0}));
+}
+
+TEST(Vector, MismatchedArithmeticThrows) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0};
+  EXPECT_THROW(a + b, CheckError);
+  EXPECT_THROW(a - b, CheckError);
+  EXPECT_THROW(a.dot(b), CheckError);
+}
+
+TEST(Vector, DivisionByZeroThrows) {
+  Vector a{1.0};
+  EXPECT_THROW(a / 0.0, CheckError);
+}
+
+TEST(Vector, DotNormSum) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(Vector, SegmentRoundTrip) {
+  Vector v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(v.segment(1, 2), (Vector{2.0, 3.0}));
+  v.set_segment(2, Vector{9.0, 8.0});
+  EXPECT_EQ(v, (Vector{1.0, 2.0, 9.0, 8.0}));
+  EXPECT_THROW(v.segment(3, 2), CheckError);
+  EXPECT_THROW(v.set_segment(3, Vector{1.0, 1.0}), CheckError);
+}
+
+TEST(Vector, Concat) {
+  Vector a{1.0};
+  Vector b{2.0, 3.0};
+  EXPECT_EQ(a.concat(b), (Vector{1.0, 2.0, 3.0}));
+  EXPECT_EQ(Vector().concat(a), a);
+}
+
+TEST(Vector, AllFinite) {
+  EXPECT_TRUE((Vector{1.0, -2.0}).all_finite());
+  EXPECT_FALSE((Vector{1.0, std::nan("")}).all_finite());
+  EXPECT_FALSE((Vector{INFINITY}).all_finite());
+}
+
+TEST(Vector, AsMatrixShapes) {
+  Vector v{1.0, 2.0, 3.0};
+  Matrix col = v.as_column();
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+  EXPECT_EQ(col(2, 0), 3.0);
+  Matrix row = v.as_row();
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 3u);
+  EXPECT_EQ(row(0, 1), 2.0);
+}
+
+TEST(Vector, Streaming) {
+  std::ostringstream os;
+  os << Vector{1.0, 2.5};
+  EXPECT_EQ(os.str(), "[1, 2.5]");
+}
+
+TEST(Matrix, InitializerListAndIndexing) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m(2, 0), CheckError);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i.trace(), 3.0);
+
+  Matrix d = Matrix::diagonal(Vector{2.0, 5.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 5.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, Outer) {
+  Matrix o = Matrix::outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_EQ(o(1, 2), 10.0);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_EQ(c, (Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+  EXPECT_THROW(a * Matrix(3, 3), CheckError);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Vector({1.0, 1.0}), (Vector{3.0, 7.0}));
+  EXPECT_THROW(a * Vector(3), CheckError);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transpose(), a);
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  Matrix m(3, 3);
+  m.set_block(1, 1, Matrix{{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m(2, 2), 4.0);
+  EXPECT_EQ(m.block(1, 1, 2, 2), (Matrix{{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_THROW(m.block(2, 2, 2, 2), CheckError);
+  EXPECT_THROW(m.set_block(2, 2, Matrix(2, 2)), CheckError);
+}
+
+TEST(Matrix, RowColDiagonal) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (Vector{1.0, 3.0}));
+  EXPECT_EQ(m.diagonal_vector(), (Vector{1.0, 4.0}));
+}
+
+TEST(Matrix, SymmetryHelpers) {
+  Matrix s{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_TRUE(s.is_symmetric());
+  Matrix a{{1.0, 2.0}, {2.5, 5.0}};
+  EXPECT_FALSE(a.is_symmetric());
+  Matrix sym = a.symmetrized();
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_DOUBLE_EQ(sym(0, 1), 2.25);
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(Matrix, Stacking) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0, 4.0}};
+  Matrix v = a.vstack(b);
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_EQ(v(1, 1), 4.0);
+  Matrix h = a.hstack(b);
+  EXPECT_EQ(h.cols(), 4u);
+  EXPECT_EQ(h(0, 3), 4.0);
+  // Stacking with empty is identity.
+  EXPECT_EQ(Matrix().vstack(a), a);
+  EXPECT_EQ(a.hstack(Matrix()), a);
+  EXPECT_THROW(a.vstack(Matrix(1, 3)), CheckError);
+  EXPECT_THROW(a.hstack(Matrix(2, 2)), CheckError);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 4.0);
+}
+
+TEST(Matrix, AllFinite) {
+  Matrix m{{1.0, 2.0}};
+  EXPECT_TRUE(m.all_finite());
+  m(0, 0) = std::nan("");
+  EXPECT_FALSE(m.all_finite());
+}
+
+TEST(Matrix, QuadraticForm) {
+  Matrix m{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(quadratic_form(m, Vector{1.0, 2.0}), 14.0);
+  EXPECT_THROW(quadratic_form(m, Vector{1.0}), CheckError);
+}
+
+// Algebraic identities checked over a grid of shapes.
+class MatrixAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixAlgebraProperty, TransposeOfProduct) {
+  const int seed = GetParam();
+  // Deterministic pseudo-random fill without pulling in the Rng module.
+  auto fill = [&](Matrix& m, int salt) {
+    unsigned state = static_cast<unsigned>(seed * 7919 + salt);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        state = state * 1664525u + 1013904223u;
+        m(i, j) = static_cast<double>(state % 2001) / 1000.0 - 1.0;
+      }
+  };
+  Matrix a(3, 4), b(4, 2);
+  fill(a, 1);
+  fill(b, 2);
+  const Matrix lhs = (a * b).transpose();
+  const Matrix rhs = b.transpose() * a.transpose();
+  ASSERT_EQ(lhs.rows(), rhs.rows());
+  for (std::size_t i = 0; i < lhs.rows(); ++i)
+    for (std::size_t j = 0; j < lhs.cols(); ++j)
+      EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+}
+
+TEST_P(MatrixAlgebraProperty, DistributivityAndTrace) {
+  const int seed = GetParam();
+  auto fill = [&](Matrix& m, int salt) {
+    unsigned state = static_cast<unsigned>(seed * 104729 + salt);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        state = state * 1664525u + 1013904223u;
+        m(i, j) = static_cast<double>(state % 2001) / 1000.0 - 1.0;
+      }
+  };
+  Matrix a(3, 3), b(3, 3), c(3, 3);
+  fill(a, 1);
+  fill(b, 2);
+  fill(c, 3);
+  const Matrix lhs = a * (b + c);
+  const Matrix rhs = a * b + a * c;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+  // trace(AB) == trace(BA)
+  EXPECT_NEAR((a * b).trace(), (b * a).trace(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixAlgebraProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace roboads

@@ -1,0 +1,197 @@
+// End-to-end mission integration: RRT* plan → PID tracking → scenario
+// injection → RoboADS detection → paper-style scoring, on both platforms.
+#include <gtest/gtest.h>
+
+#include "eval/khepera.h"
+#include "eval/mission.h"
+#include "eval/scoring.h"
+#include "eval/tamiya.h"
+
+namespace roboads::eval {
+namespace {
+
+MissionConfig quick_config(std::uint64_t seed) {
+  MissionConfig cfg;
+  cfg.iterations = 200;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(KheperaMission, CleanRunRaisesNoAlarmsAndReachesGoal) {
+  KheperaPlatform platform;
+  const attacks::Scenario scenario = platform.clean_scenario();
+  MissionConfig cfg = quick_config(101);
+  cfg.iterations = 300;  // generous horizon; the mission ends at the goal
+  const MissionResult result = run_mission(platform, scenario, cfg);
+  ASSERT_GE(result.records.size(), 100u);
+  ASSERT_LE(result.records.size(), 300u);
+
+  const ScenarioScore score = score_mission(result, platform);
+  // Paper §V-C: average FPR < 3%; a clean mission should be nearly silent.
+  EXPECT_LT(score.sensor.false_positive_rate(), 0.03);
+  EXPECT_LT(score.actuator.false_positive_rate(), 0.03);
+  EXPECT_EQ(score.sensor.false_negatives, 0u);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(KheperaMission, StateEstimateTracksTruthOnCleanRun) {
+  KheperaPlatform platform;
+  const MissionResult result =
+      run_mission(platform, platform.clean_scenario(), quick_config(7));
+  double err_acc = 0.0;
+  for (const IterationRecord& rec : result.records) {
+    ASSERT_TRUE(rec.report.state_estimate.all_finite());
+    if (rec.k < 5) continue;  // allow initial convergence
+    const double err = std::hypot(rec.report.state_estimate[0] - rec.x_true[0],
+                                  rec.report.state_estimate[1] - rec.x_true[1]);
+    // The per-mode innovation keeps only m₂ − q degrees of freedom after
+    // input compensation, so transient drift up to several cm is expected;
+    // it must stay bounded and small on average.
+    EXPECT_LT(err, 0.10) << "k=" << rec.k;
+    err_acc += err;
+  }
+  EXPECT_LT(err_acc / static_cast<double>(result.records.size()), 0.03);
+}
+
+TEST(KheperaMission, IpsLogicBombDetectedAsS1) {
+  KheperaPlatform platform;
+  const attacks::Scenario scenario = platform.table2_scenario(3);
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(202));
+  const ScenarioScore score = score_mission(result, platform);
+
+  EXPECT_TRUE(score.all_misbehaviors_detected());
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "sensor:ips");
+  // Paper Table II reports 0.30 s for this scenario; accept within ~1 s.
+  EXPECT_LE(*score.delays[0].seconds, 1.0);
+  // The identified condition sequence is the paper's S0→1.
+  EXPECT_EQ(score.sensor_condition_sequence.rfind("S0→S1", 0), 0u);
+  EXPECT_LT(score.sensor.false_negative_rate(), 0.10);
+  EXPECT_LT(score.actuator.false_positive_rate(), 0.05);
+}
+
+TEST(KheperaMission, WheelLogicBombDetectedAsActuatorMisbehavior) {
+  KheperaPlatform platform;
+  const attacks::Scenario scenario = platform.table2_scenario(1);
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(303));
+  const ScenarioScore score = score_mission(result, platform);
+
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "actuator");
+  ASSERT_TRUE(score.delays[0].seconds.has_value());
+  EXPECT_LE(*score.delays[0].seconds, 1.5);
+  EXPECT_EQ(score.actuator_condition_sequence.rfind("A0→A1", 0), 0u);
+  // No sensor is corrupted: the sensor side must stay quiet.
+  EXPECT_LT(score.sensor.false_positive_rate(), 0.05);
+}
+
+TEST(KheperaMission, LidarDosDetectedAsS3) {
+  KheperaPlatform platform;
+  const attacks::Scenario scenario = platform.table2_scenario(6);
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(404));
+  const ScenarioScore score = score_mission(result, platform);
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "sensor:lidar");
+  ASSERT_TRUE(score.delays[0].seconds.has_value());
+  EXPECT_LE(*score.delays[0].seconds, 1.0);
+}
+
+TEST(KheperaMission, TwoCorruptedSensorsStillIdentified) {
+  // Scenario #11: wheel encoder then IPS — two of three sensors corrupted,
+  // only LiDAR clean. Detection without majority voting (§V-C).
+  KheperaPlatform platform;
+  const attacks::Scenario scenario = platform.table2_scenario(11);
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(505));
+  const ScenarioScore score = score_mission(result, platform);
+
+  ASSERT_EQ(score.delays.size(), 2u);
+  EXPECT_TRUE(score.all_misbehaviors_detected());
+  // Final condition: S6 (IPS + wheel encoder).
+  const auto& seq = score.sensor_condition_sequence;
+  EXPECT_NE(seq.find("S2"), std::string::npos) << seq;
+  EXPECT_EQ(seq.substr(seq.size() - 2), "S6") << seq;
+}
+
+TEST(KheperaMission, AnomalyQuantificationMatchesInjectedMagnitude) {
+  // §V-C: "IPS sensor anomaly vector estimates on the X axis is +0.069 m"
+  // for a +0.07 m logic bomb — ~2% normalized error.
+  KheperaPlatform platform;
+  const attacks::Scenario scenario = platform.table2_scenario(3);
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(606));
+  const double err = sensor_quantification_error(
+      result, KheperaPlatform::kIps, Vector{0.07, 0.0, 0.0}, 80);
+  EXPECT_LT(err, 0.25);
+}
+
+TEST(KheperaMission, DeterministicPerSeed) {
+  KheperaPlatform platform;
+  const MissionResult a =
+      run_mission(platform, platform.table2_scenario(4), quick_config(99));
+  const MissionResult b =
+      run_mission(platform, platform.table2_scenario(4), quick_config(99));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].x_true, b.records[i].x_true);
+    EXPECT_EQ(a.records[i].report.selected_mode,
+              b.records[i].report.selected_mode);
+  }
+}
+
+TEST(KheperaMission, LinearBaselineDegradesOverTime) {
+  // §V-G: one-time linearization accumulates estimation error and produces
+  // false positives the per-iteration relinearization avoids.
+  KheperaPlatform platform;
+  MissionConfig cfg = quick_config(77);
+  cfg.linear_baseline = true;
+  const MissionResult baseline =
+      run_mission(platform, platform.clean_scenario(), cfg);
+  const ScenarioScore baseline_score = score_mission(baseline, platform);
+
+  const MissionResult ours =
+      run_mission(platform, platform.clean_scenario(), quick_config(77));
+  const ScenarioScore ours_score = score_mission(ours, platform);
+
+  EXPECT_GT(baseline_score.sensor.false_positive_rate(),
+            ours_score.sensor.false_positive_rate());
+  EXPECT_GT(baseline_score.sensor.false_positive_rate(), 0.10);
+}
+
+TEST(TamiyaMission, CleanRunIsQuiet) {
+  TamiyaPlatform platform;
+  const MissionResult result =
+      run_mission(platform, platform.clean_scenario(), quick_config(808));
+  const ScenarioScore score = score_mission(result, platform);
+  EXPECT_LT(score.sensor.false_positive_rate(), 0.05);
+  EXPECT_LT(score.actuator.false_positive_rate(), 0.05);
+}
+
+TEST(TamiyaMission, SteeringTakeoverDetected) {
+  TamiyaPlatform platform;
+  const attacks::Scenario scenario = platform.scenario_battery()[1];  // T2
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(909));
+  const ScenarioScore score = score_mission(result, platform);
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "actuator");
+  ASSERT_TRUE(score.delays[0].seconds.has_value());
+  EXPECT_LE(*score.delays[0].seconds, 2.0);
+}
+
+TEST(TamiyaMission, IpsSpoofDetected) {
+  TamiyaPlatform platform;
+  const attacks::Scenario scenario = platform.scenario_battery()[2];  // T3
+  const MissionResult result =
+      run_mission(platform, scenario, quick_config(1010));
+  const ScenarioScore score = score_mission(result, platform);
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "sensor:ips");
+  EXPECT_TRUE(score.all_misbehaviors_detected());
+}
+
+}  // namespace
+}  // namespace roboads::eval

@@ -1,0 +1,312 @@
+// Monte-Carlo validation of the NUISE estimator (Algorithm 2): unbiasedness
+// of state and anomaly estimates, covariance consistency (NEES/NIS-style
+// checks), and recovery of injected sensor/actuator anomalies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nuise.h"
+#include "dynamics/diff_drive.h"
+#include "matrix/decomp.h"
+#include "random/rng.h"
+#include "sensors/standard_sensors.h"
+#include "stats/chi_square.h"
+
+namespace roboads::core {
+namespace {
+
+using dyn::DiffDrive;
+using sensors::SensorSuite;
+
+struct TestRig {
+  DiffDrive model{{.axle_length = 0.089, .dt = 0.1}};
+  SensorSuite suite{{
+      sensors::make_wheel_odometry(3, 0.01, 0.02),
+      sensors::make_ips(3, 0.005, 0.01),
+      sensors::make_lidar_nav(3, 2.0, 0.03, 0.03),
+  }};
+  Matrix q = Matrix::diagonal(Vector{2.5e-7, 2.5e-7, 1e-6});
+
+  Mode mode_ref_ips() const {
+    return Mode{"ref:ips", {1}, {0, 2}};
+  }
+
+  // Simulates one true step and the full noisy reading vector, with optional
+  // injected anomalies.
+  Vector simulate_step(Rng& rng, Vector& x_true, const Vector& u_planned,
+                       const Vector& d_act, const Vector& d_sens) const {
+    GaussianSampler proc(q);
+    x_true = model.step(x_true, u_planned + d_act) + proc.sample(rng);
+    Vector z = suite.measure(suite.all(), x_true) + d_sens;
+    for (std::size_t i = 0; i < suite.count(); ++i) {
+      GaussianSampler meas(suite.sensor(i).noise_covariance());
+      const Vector noise = meas.sample(rng);
+      for (std::size_t j = 0; j < noise.size(); ++j)
+        z[suite.offset(i) + j] += noise[j];
+    }
+    return z;
+  }
+};
+
+// Wheel-speed command profile exercising turns and straight segments.
+Vector command_at(std::size_t k) {
+  const double base = 0.05;
+  const double delta = 0.01 * std::sin(0.05 * static_cast<double>(k));
+  return Vector{base - delta, base + delta};
+}
+
+TEST(Nuise, RejectsMismatchedConstruction) {
+  TestRig rig;
+  EXPECT_THROW(Nuise(rig.model, rig.suite, Mode{"bad", {}, {0, 1, 2}}, rig.q),
+               CheckError);
+  EXPECT_THROW(Nuise(rig.model, rig.suite, rig.mode_ref_ips(), Matrix(2, 2)),
+               CheckError);
+}
+
+TEST(Nuise, StepValidatesShapes) {
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  const Matrix p0 = Matrix::identity(3) * 1e-4;
+  EXPECT_THROW(nuise.step(Vector(2), p0, Vector(2), Vector(10)), CheckError);
+  EXPECT_THROW(nuise.step(Vector(3), p0, Vector(3), Vector(10)), CheckError);
+  EXPECT_THROW(nuise.step(Vector(3), p0, Vector(2), Vector(9)), CheckError);
+}
+
+TEST(Nuise, CleanRunTracksStateAndEstimatesVanish) {
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  Rng rng(1234);
+
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  double max_pos_err = 0.0;
+  Vector da_acc(2);
+  Vector ds_acc(7);
+  const std::size_t steps = 400;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector u = command_at(k);
+    const Vector z =
+        rig.simulate_step(rng, x_true, u, Vector(2), Vector(10));
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    ASSERT_TRUE(r.state.all_finite());
+    ASSERT_TRUE(r.state_cov.all_finite());
+    EXPECT_TRUE(r.actuator_identifiable);
+    x_hat = r.state;
+    p = r.state_cov;
+    max_pos_err = std::max(
+        max_pos_err, std::hypot(x_hat[0] - x_true[0], x_hat[1] - x_true[1]));
+    da_acc += r.actuator_anomaly;
+    ds_acc += r.sensor_anomaly;
+  }
+  // State estimate stays within a few centimeters of truth.
+  EXPECT_LT(max_pos_err, 0.05);
+  // Anomaly estimates average to ≈ 0 on a clean run (unbiasedness).
+  EXPECT_LT((da_acc / double(steps)).norm_inf(), 2e-3);
+  EXPECT_LT((ds_acc / double(steps)).norm_inf(), 5e-3);
+}
+
+TEST(Nuise, InnovationConsistencyOnCleanRun) {
+  // NIS check: ν^T S^† ν should behave like χ²(rank S). The innovation
+  // covariance is structurally rank-deficient — the d̂ᵃ compensation
+  // consumes q of the reference innovation's degrees of freedom (hence the
+  // pseudo-inverse/-determinant in Algorithm 2, line 20) — so the reference
+  // dimension m₂=3 leaves rank m₂−q+... < m₂. The empirical NIS mean must
+  // match the empirical mean rank; this validates the covariance
+  // bookkeeping (the sign-corrected cross terms of DESIGN.md §1).
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  Rng rng(99);
+
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  double nis_sum = 0.0;
+  double rank_sum = 0.0;
+  const std::size_t steps = 500;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector u = command_at(k);
+    const Vector z =
+        rig.simulate_step(rng, x_true, u, Vector(2), Vector(10));
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    nis_sum +=
+        quadratic_form(spd_pseudo_inverse(r.innovation_cov), r.innovation);
+    rank_sum += static_cast<double>(rank(r.innovation_cov));
+    x_hat = r.state;
+    p = r.state_cov;
+  }
+  const double mean_nis = nis_sum / static_cast<double>(steps);
+  const double mean_rank = rank_sum / static_cast<double>(steps);
+  EXPECT_LT(mean_rank, 3.0);  // degeneracy is real
+  EXPECT_GT(mean_rank, 0.9);
+  EXPECT_NEAR(mean_nis, mean_rank, 0.5);
+}
+
+TEST(Nuise, SensorAnomalyConsistencyOnCleanRun) {
+  // d̂ˢ^T (Pˢ)⁻¹ d̂ˢ should behave like χ²(7) for the 7-dimensional stacked
+  // testing block (odometry 3 + lidar 4) when nothing is attacked.
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  Rng rng(7);
+
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  double stat_sum = 0.0;
+  const std::size_t steps = 500;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector u = command_at(k);
+    const Vector z =
+        rig.simulate_step(rng, x_true, u, Vector(2), Vector(10));
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    stat_sum +=
+        quadratic_form(inverse_spd(r.sensor_anomaly_cov), r.sensor_anomaly);
+    x_hat = r.state;
+    p = r.state_cov;
+  }
+  const double mean_stat = stat_sum / static_cast<double>(steps);
+  EXPECT_GT(mean_stat, 5.5);
+  EXPECT_LT(mean_stat, 8.5);
+}
+
+TEST(Nuise, RecoversConstantActuatorAnomaly) {
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  Rng rng(2024);
+
+  const Vector d_act{-0.04, 0.04};  // ±6000 Khepera units (§V-B scenario #1)
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  Vector da_acc(2);
+  const std::size_t steps = 300;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector u = command_at(k);
+    const Vector z = rig.simulate_step(rng, x_true, u, d_act, Vector(10));
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    x_hat = r.state;
+    p = r.state_cov;
+    da_acc += r.actuator_anomaly;
+  }
+  const Vector da_mean = da_acc / static_cast<double>(steps);
+  EXPECT_NEAR(da_mean[0], d_act[0], 0.004);
+  EXPECT_NEAR(da_mean[1], d_act[1], 0.004);
+}
+
+TEST(Nuise, StateTrackingSurvivesActuatorAnomaly) {
+  // With d̂ᵃ compensation the state prediction stays unbiased even while the
+  // actuators misbehave (challenge 2 of §IV-B).
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  Rng rng(555);
+
+  const Vector d_act{0.03, -0.02};
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  double err_acc = 0.0;
+  const std::size_t steps = 300;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector u = command_at(k);
+    const Vector z = rig.simulate_step(rng, x_true, u, d_act, Vector(10));
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    x_hat = r.state;
+    p = r.state_cov;
+    err_acc += std::hypot(x_hat[0] - x_true[0], x_hat[1] - x_true[1]);
+  }
+  EXPECT_LT(err_acc / static_cast<double>(steps), 0.02);
+}
+
+TEST(Nuise, RecoversSensorAnomalyOnTestingSensor) {
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, rig.mode_ref_ips(), rig.q);
+  Rng rng(31337);
+
+  // Wheel-odometry X reading shifted by +0.07 m (§V-B scenario #3 analog on
+  // a testing sensor). Stacked full-reading layout: odometry at offset 0.
+  Vector d_sens(10);
+  d_sens[0] = 0.07;
+
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  Vector ds_acc(7);
+  const std::size_t steps = 300;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector u = command_at(k);
+    const Vector z = rig.simulate_step(rng, x_true, u, Vector(2), d_sens);
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    x_hat = r.state;
+    p = r.state_cov;
+    ds_acc += r.sensor_anomaly;
+  }
+  const Vector ds_mean = ds_acc / static_cast<double>(steps);
+  // Testing block layout: odometry (0..2), lidar (3..6).
+  EXPECT_NEAR(ds_mean[0], 0.07, 0.01);
+  for (std::size_t i = 1; i < 7; ++i) EXPECT_NEAR(ds_mean[i], 0.0, 0.02);
+}
+
+TEST(Nuise, CorruptedReferenceLowersLikelihood) {
+  // The same corrupted readings must yield a lower likelihood for the mode
+  // that trusts the corrupted sensor than for the mode that does not — the
+  // property the mode selector relies on (§IV-C).
+  TestRig rig;
+  Nuise trusting_ips(rig.model, rig.suite, Mode{"ref:ips", {1}, {0, 2}},
+                     rig.q);
+  Nuise trusting_odom(rig.model, rig.suite,
+                      Mode{"ref:wheel_encoder", {0}, {1, 2}}, rig.q);
+  Rng rng(4242);
+
+  Vector d_sens(10);
+  d_sens[3] = 0.1;  // IPS X spoofed (offset 3 in the stacked layout)
+
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+
+  double ll_ips = 0.0, ll_odom = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) {
+    const Vector u = command_at(k);
+    const Vector z = rig.simulate_step(rng, x_true, u, Vector(2), d_sens);
+    const NuiseResult ri = trusting_ips.step(x_hat, p, u, z);
+    const NuiseResult ro = trusting_odom.step(x_hat, p, u, z);
+    ll_ips += ri.log_likelihood;
+    ll_odom += ro.log_likelihood;
+    // Advance with the honest mode's estimate.
+    x_hat = ro.state;
+    p = ro.state_cov;
+  }
+  EXPECT_GT(ll_odom, ll_ips + 50.0);
+}
+
+TEST(Nuise, LidarOnlyReferenceWorksDespiteNonSquareJacobian) {
+  // LiDAR reference: 4 readings constrain 3 states; C₂ is 4x3 and the
+  // actuator anomaly remains identifiable through C₂G.
+  TestRig rig;
+  Nuise nuise(rig.model, rig.suite, Mode{"ref:lidar", {2}, {0, 1}}, rig.q);
+  Rng rng(8);
+
+  Vector x_true{0.3, 0.4, 0.1};
+  Vector x_hat = x_true;
+  Matrix p = Matrix::identity(3) * 1e-4;
+  for (std::size_t k = 0; k < 200; ++k) {
+    const Vector u = command_at(k);
+    const Vector z =
+        rig.simulate_step(rng, x_true, u, Vector(2), Vector(10));
+    const NuiseResult r = nuise.step(x_hat, p, u, z);
+    EXPECT_TRUE(r.actuator_identifiable);
+    x_hat = r.state;
+    p = r.state_cov;
+  }
+  EXPECT_NEAR(x_hat[0], x_true[0], 0.08);
+  EXPECT_NEAR(x_hat[1], x_true[1], 0.08);
+}
+
+}  // namespace
+}  // namespace roboads::core

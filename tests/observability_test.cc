@@ -1,0 +1,129 @@
+// §VI "sensor capabilities" diagnostics: reference groups must reconstruct
+// the state and make the inputs identifiable.
+#include <gtest/gtest.h>
+
+#include "core/observability.h"
+#include "dynamics/bicycle.h"
+#include "dynamics/diff_drive.h"
+#include "sensors/standard_sensors.h"
+
+namespace roboads::core {
+namespace {
+
+TEST(Observability, PoseSensorMakesDiffDriveObservable) {
+  dyn::DiffDrive model;
+  sensors::SensorSuite suite({
+      sensors::make_ips(3, 0.005, 0.01),
+      sensors::make_lidar_nav(3, 2.0, 0.02, 0.02),
+  });
+  const Mode mode{"ref:ips", {0}, {1}};
+  const ModeDiagnostics d = diagnose_mode(model, suite, mode,
+                                          Vector{0.5, 0.5, 0.3},
+                                          Vector{0.05, 0.06});
+  EXPECT_TRUE(d.observable);
+  EXPECT_EQ(d.observability_rank, 3u);
+  EXPECT_TRUE(d.input_identifiable);
+  EXPECT_EQ(d.input_rank, 2u);
+  EXPECT_GT(d.input_conditioning, 0.0);
+}
+
+TEST(Observability, HeadingOnlySensorCannotReconstructState) {
+  // The paper's magnetometer example: "a magnetometer only measures the
+  // orientation of a robot ... RoboADS fails to estimate states."
+  dyn::DiffDrive model;
+  auto magnetometer = std::make_shared<sensors::StateProjectionSensor>(
+      "magnetometer", 3, std::vector<std::size_t>{2},
+      std::vector<bool>{true}, Matrix{{1e-4}});
+  sensors::SensorSuite suite(
+      {magnetometer, sensors::make_ips(3, 0.005, 0.01)});
+
+  const Mode mag_only{"ref:magnetometer", {0}, {1}};
+  const ModeDiagnostics d = diagnose_mode(model, suite, mag_only,
+                                          Vector{0.5, 0.5, 0.3},
+                                          Vector{0.05, 0.06});
+  EXPECT_FALSE(d.observable);
+  EXPECT_LT(d.observability_rank, 3u);
+
+  // §VI's remedy: group it with a position-capable sensor.
+  const Mode grouped{"ref:magnetometer+ips", {0, 1}, {}};
+  EXPECT_TRUE(diagnose_mode(model, suite, grouped, Vector{0.5, 0.5, 0.3},
+                            Vector{0.05, 0.06})
+                  .observable);
+}
+
+TEST(Observability, ThrowsOnUnobservableWhenRequested) {
+  dyn::DiffDrive model;
+  auto magnetometer = std::make_shared<sensors::StateProjectionSensor>(
+      "magnetometer", 3, std::vector<std::size_t>{2},
+      std::vector<bool>{true}, Matrix{{1e-4}});
+  sensors::SensorSuite suite(
+      {magnetometer, sensors::make_ips(3, 0.005, 0.01)});
+  const std::vector<Mode> modes = {{"ref:mag", {0}, {1}}};
+  EXPECT_THROW(diagnose_modes(model, suite, modes, Vector{0.5, 0.5, 0.3},
+                              Vector{0.05, 0.06},
+                              /*throw_on_unobservable=*/true),
+               CheckError);
+  // Without the flag it reports instead of throwing.
+  const auto diags = diagnose_modes(model, suite, modes,
+                                    Vector{0.5, 0.5, 0.3},
+                                    Vector{0.05, 0.06});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_FALSE(diags[0].observable);
+}
+
+TEST(Observability, SteeringUnidentifiableAtStandstill) {
+  // A stationary car reveals nothing about its steering through pose
+  // sensors: C₂G loses a column.
+  dyn::KinematicBicycle model;
+  sensors::SensorSuite suite({sensors::make_ips(3, 0.005, 0.01)});
+  const Mode mode{"ref:ips", {0}, {}};
+  const ModeDiagnostics moving = diagnose_mode(
+      model, suite, mode, Vector{1.0, 1.0, 0.3}, Vector{0.5, 0.1});
+  EXPECT_TRUE(moving.input_identifiable);
+  const ModeDiagnostics stopped = diagnose_mode(
+      model, suite, mode, Vector{1.0, 1.0, 0.3}, Vector{0.0, 0.1});
+  EXPECT_FALSE(stopped.input_identifiable);
+  EXPECT_EQ(stopped.input_rank, 1u);
+}
+
+TEST(Observability, ConditioningDegradesInHardTurns) {
+  // §5 of DESIGN.md: speed and steering columns become near-collinear at
+  // aggressive steering angles, which is what motivates the compensation
+  // shrinkage.
+  dyn::KinematicBicycle model;
+  sensors::SensorSuite suite({sensors::make_ips(3, 0.005, 0.01)});
+  const Mode mode{"ref:ips", {0}, {}};
+  const double straight =
+      diagnose_mode(model, suite, mode, Vector{1.0, 1.0, 0.3},
+                    Vector{0.5, 0.0})
+          .input_conditioning;
+  const double hard_turn =
+      diagnose_mode(model, suite, mode, Vector{1.0, 1.0, 0.3},
+                    Vector{0.5, 0.45})
+          .input_conditioning;
+  EXPECT_LT(hard_turn, straight);
+}
+
+TEST(Observability, TamiyaPairModesAreWellPosed) {
+  // The shipped Tamiya configuration passes its own §VI checks.
+  dyn::KinematicBicycle model;
+  sensors::SensorSuite suite({
+      sensors::make_ips(3, 0.005, 0.01),
+      sensors::make_lidar_nav(3, 8.0, 0.04, 0.012),
+      sensors::make_imu_ins_pose(3, 0.04, 0.02),
+  });
+  const std::vector<Mode> modes = {
+      {"ref:ips+lidar", {0, 1}, {2}},
+      {"ref:ips+imu", {0, 2}, {1}},
+      {"ref:lidar+imu", {1, 2}, {0}},
+  };
+  for (const ModeDiagnostics& d :
+       diagnose_modes(model, suite, modes, Vector{1.0, 1.0, 0.5},
+                      Vector{0.5, 0.1}, true)) {
+    EXPECT_TRUE(d.observable) << d.mode_label;
+    EXPECT_TRUE(d.input_identifiable) << d.mode_label;
+  }
+}
+
+}  // namespace
+}  // namespace roboads::core

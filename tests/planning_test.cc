@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dynamics/bicycle.h"
+#include "dynamics/diff_drive.h"
+#include "planning/tracker.h"
+
+namespace roboads::planning {
+namespace {
+
+sim::World arena() {
+  return sim::World(2.0, 1.5, {geom::Aabb{{0.85, 0.55}, {1.15, 0.85}}});
+}
+
+bool path_collision_free(const sim::World& world, const PlannedPath& path,
+                         double radius) {
+  for (std::size_t i = 1; i < path.waypoints.size(); ++i) {
+    if (!world.segment_free(path.waypoints[i - 1], path.waypoints[i], radius))
+      return false;
+  }
+  return true;
+}
+
+TEST(RrtStar, RejectsBadConfigAndEndpoints) {
+  const sim::World world = arena();
+  RrtStarConfig cfg;
+  cfg.step_size = 0.0;
+  EXPECT_THROW(RrtStar(world, cfg), CheckError);
+  RrtStar planner(world);
+  Rng rng(1);
+  EXPECT_THROW(planner.plan({1.0, 0.7}, {1.6, 1.2}, rng), CheckError);
+  EXPECT_THROW(planner.plan({0.3, 0.3}, {1.0, 0.7}, rng), CheckError);
+}
+
+TEST(RrtStar, FindsCollisionFreePathAroundObstacle) {
+  const sim::World world = arena();
+  RrtStar planner(world);
+  Rng rng(42);
+  const geom::Vec2 start{0.35, 0.30};
+  const geom::Vec2 goal{1.60, 1.20};
+  const auto path = planner.plan(start, goal, rng);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_GE(path->waypoints.size(), 2u);
+  EXPECT_EQ(path->waypoints.front(), start);
+  EXPECT_EQ(path->waypoints.back(), goal);
+  EXPECT_TRUE(path_collision_free(world, *path, RrtStarConfig{}.robot_radius));
+  // Path cost is consistent with the waypoints and at least the straight-
+  // line distance (which is blocked here).
+  EXPECT_NEAR(path->cost, path->length(), 1e-9);
+  EXPECT_GE(path->length(), geom::distance(start, goal) - 1e-9);
+}
+
+TEST(RrtStar, SmoothingShortensWithoutCollisions) {
+  const sim::World world = arena();
+  RrtStar planner(world);
+  Rng rng(7);
+  const auto path = planner.plan({0.35, 0.30}, {1.60, 1.20}, rng);
+  ASSERT_TRUE(path.has_value());
+  const PlannedPath smoothed = planner.smooth(*path, rng);
+  EXPECT_LE(smoothed.length(), path->length() + 1e-9);
+  EXPECT_TRUE(
+      path_collision_free(world, smoothed, RrtStarConfig{}.robot_radius));
+  EXPECT_EQ(smoothed.waypoints.front(), path->waypoints.front());
+  EXPECT_EQ(smoothed.waypoints.back(), path->waypoints.back());
+}
+
+TEST(RrtStar, DeterministicPerSeed) {
+  const sim::World world = arena();
+  RrtStar planner(world);
+  Rng a(9), b(9);
+  const auto pa = planner.plan({0.35, 0.30}, {1.60, 1.20}, a);
+  const auto pb = planner.plan({0.35, 0.30}, {1.60, 1.20}, b);
+  ASSERT_TRUE(pa && pb);
+  ASSERT_EQ(pa->waypoints.size(), pb->waypoints.size());
+  for (std::size_t i = 0; i < pa->waypoints.size(); ++i)
+    EXPECT_EQ(pa->waypoints[i], pb->waypoints[i]);
+}
+
+TEST(Pid, ProportionalAndClampedIntegral) {
+  Pid pid(2.0, 1.0, 0.0, 0.1, 0.5);
+  // First update: P + I only (no derivative history).
+  EXPECT_NEAR(pid.update(1.0), 2.0 + 0.1, 1e-12);
+  // Integral clamps at the limit under persistent error.
+  double out = 0.0;
+  for (int i = 0; i < 100; ++i) out = pid.update(1.0);
+  EXPECT_NEAR(out, 2.0 + 0.5, 1e-12);
+  pid.reset();
+  EXPECT_NEAR(pid.update(0.0), 0.0, 1e-12);
+  EXPECT_THROW(Pid(1.0, 0.0, 0.0, 0.0, 1.0), CheckError);
+}
+
+TEST(Pid, DerivativeKicksOnErrorChange) {
+  Pid pid(0.0, 0.0, 1.0, 0.5, 1.0);
+  EXPECT_NEAR(pid.update(1.0), 0.0, 1e-12);  // no previous error yet
+  EXPECT_NEAR(pid.update(2.0), 2.0, 1e-12);  // (2-1)/0.5
+}
+
+TEST(DiffDriveTracker, DrivesTheModelToTheGoal) {
+  const sim::World world = arena();
+  RrtStar planner(world);
+  Rng rng(11);
+  const auto path = planner.plan({0.35, 0.30}, {1.60, 1.20}, rng);
+  ASSERT_TRUE(path.has_value());
+
+  dyn::DiffDrive model({.axle_length = 0.089, .dt = 0.1});
+  DiffDrivePathTracker tracker(planner.smooth(*path, rng), model.dt());
+
+  Vector pose{0.35, 0.30, 0.6};
+  bool reached = false;
+  for (int k = 0; k < 1200 && !reached; ++k) {
+    const Vector u = tracker.control(pose);
+    EXPECT_LE(std::abs(u[0]), DiffDriveTrackerConfig{}.max_wheel_speed + 1e-9);
+    EXPECT_LE(std::abs(u[1]), DiffDriveTrackerConfig{}.max_wheel_speed + 1e-9);
+    pose = model.step(pose, u);
+    reached = tracker.reached(pose);
+    ASSERT_TRUE(world.free({pose[0], pose[1]}))
+        << "collision at iteration " << k;
+  }
+  EXPECT_TRUE(reached);
+  EXPECT_NEAR(pose[0], 1.60, 0.1);
+  EXPECT_NEAR(pose[1], 1.20, 0.1);
+}
+
+TEST(DiffDriveTracker, StopsAtGoal) {
+  PlannedPath path;
+  path.waypoints = {{0.0, 0.0}, {1.0, 0.0}};
+  DiffDrivePathTracker tracker(path, 0.1);
+  const Vector u = tracker.control(Vector{1.0, 0.0, 0.0});
+  EXPECT_EQ(u, (Vector{0.0, 0.0}));
+  EXPECT_TRUE(tracker.reached(Vector{1.0, 0.0, 0.0}));
+}
+
+TEST(BicycleTracker, DrivesTheCarToTheGoal) {
+  const sim::World world(8.0, 6.0, {geom::Aabb{{3.2, 2.2}, {4.4, 3.4}}});
+  RrtStarConfig rrt_cfg;
+  rrt_cfg.step_size = 0.5;
+  rrt_cfg.rewire_radius = 1.2;
+  rrt_cfg.goal_radius = 0.3;
+  rrt_cfg.robot_radius = 0.2;
+  RrtStar planner(world, rrt_cfg);
+  Rng rng(23);
+  const auto path = planner.plan({1.0, 1.0}, {6.8, 4.8}, rng);
+  ASSERT_TRUE(path.has_value());
+
+  dyn::KinematicBicycle model;
+  BicyclePathTracker tracker(planner.smooth(*path, rng), model.dt());
+
+  Vector pose{1.0, 1.0, 0.5};
+  bool reached = false;
+  for (int k = 0; k < 1500 && !reached; ++k) {
+    const Vector u = tracker.control(pose);
+    EXPECT_LE(std::abs(u[1]), BicycleTrackerConfig{}.max_steer + 1e-9);
+    EXPECT_GE(u[0], 0.0);
+    EXPECT_LE(u[0], BicycleTrackerConfig{}.cruise_speed + 1e-9);
+    pose = model.step(pose, u);
+    reached = tracker.reached(pose);
+  }
+  EXPECT_TRUE(reached);
+}
+
+TEST(BicycleTracker, StopsAtGoal) {
+  PlannedPath path;
+  path.waypoints = {{0.0, 0.0}, {1.0, 0.0}};
+  BicyclePathTracker tracker(path, 0.1);
+  EXPECT_EQ(tracker.control(Vector{1.0, 0.0, 0.0}), (Vector{0.0, 0.0}));
+}
+
+TEST(WaypointFollower, AdvancesThroughWaypoints) {
+  PlannedPath path;
+  path.waypoints = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  WaypointFollower follower(path, 0.3, 0.1);
+  // Far from the first waypoint: carrot is waypoint 1.
+  EXPECT_EQ(follower.carrot({0.0, 0.0}), (geom::Vec2{1.0, 0.0}));
+  // Within lookahead of waypoint 1: advances to the final waypoint.
+  EXPECT_EQ(follower.carrot({0.85, 0.0}), (geom::Vec2{2.0, 0.0}));
+  EXPECT_FALSE(follower.reached({1.0, 0.0}));
+  EXPECT_TRUE(follower.reached({1.95, 0.0}));
+  PlannedPath degenerate;
+  degenerate.waypoints = {{0.0, 0.0}};
+  EXPECT_THROW(WaypointFollower(degenerate, 0.3, 0.1), CheckError);
+}
+
+}  // namespace
+}  // namespace roboads::planning

@@ -1,0 +1,108 @@
+#include "random/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace roboads {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), CheckError);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.index(10), 10u);
+  EXPECT_THROW(rng.index(0), CheckError);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianZeroStddevIsDeterministic) {
+  Rng rng(13);
+  EXPECT_EQ(rng.gaussian(3.5, 0.0), 3.5);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), CheckError);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng master(99);
+  Rng a(master.split()), b(master.split());
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(GaussianSampler, MatchesTargetCovariance) {
+  Matrix cov{{2.0, 0.8}, {0.8, 1.0}};
+  GaussianSampler sampler(cov);
+  Rng rng(17);
+  const int n = 40000;
+  double s00 = 0.0, s01 = 0.0, s11 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Vector x = sampler.sample(rng);
+    s00 += x[0] * x[0];
+    s01 += x[0] * x[1];
+    s11 += x[1] * x[1];
+  }
+  EXPECT_NEAR(s00 / n, 2.0, 0.08);
+  EXPECT_NEAR(s01 / n, 0.8, 0.05);
+  EXPECT_NEAR(s11 / n, 1.0, 0.05);
+}
+
+TEST(GaussianSampler, SemiDefiniteCovarianceZeroChannels) {
+  // One noise channel disabled: samples stay exactly on the support.
+  Matrix cov = Matrix::diagonal(Vector{1.0, 0.0});
+  GaussianSampler sampler(cov);
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const Vector x = sampler.sample(rng);
+    EXPECT_EQ(x[1], 0.0);
+  }
+}
+
+TEST(GaussianSampler, RejectsInvalidCovariance) {
+  EXPECT_THROW(GaussianSampler(Matrix(2, 3)), CheckError);
+  EXPECT_THROW(GaussianSampler(Matrix{{1.0, 2.0}, {0.0, 1.0}}), CheckError);
+  // Indefinite covariance must be rejected.
+  EXPECT_THROW(GaussianSampler(Matrix{{1.0, 2.0}, {2.0, 1.0}}), CheckError);
+}
+
+TEST(GaussianSampler, EmptyCovariance) {
+  GaussianSampler sampler{Matrix()};
+  Rng rng(3);
+  EXPECT_TRUE(sampler.sample(rng).empty());
+}
+
+}  // namespace
+}  // namespace roboads

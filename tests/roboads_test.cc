@@ -1,0 +1,140 @@
+// RoboAds facade (Algorithm 1 end-to-end): report structure, defaults,
+// custom mode sets, reset semantics.
+#include <gtest/gtest.h>
+
+#include "core/roboads.h"
+#include "dynamics/diff_drive.h"
+#include "random/rng.h"
+#include "sensors/standard_sensors.h"
+
+namespace roboads::core {
+namespace {
+
+struct FacadeRig {
+  dyn::DiffDrive model{{.axle_length = 0.089, .dt = 0.1}};
+  sensors::SensorSuite suite{{
+      sensors::make_wheel_odometry(3, 0.01, 0.02),
+      sensors::make_ips(3, 0.005, 0.01),
+      sensors::make_lidar_nav(3, 2.0, 0.03, 0.03),
+  }};
+  Matrix q = Matrix::diagonal(Vector{2.5e-7, 2.5e-7, 1e-6});
+  Rng rng{101};
+
+  Vector simulate_step(Vector& x_true, const Vector& u,
+                       const Vector& d_sens = Vector(10)) {
+    GaussianSampler proc(q);
+    x_true = model.step(x_true, u) + proc.sample(rng);
+    Vector z = suite.measure(suite.all(), x_true) + d_sens;
+    for (std::size_t i = 0; i < suite.count(); ++i) {
+      GaussianSampler meas(suite.sensor(i).noise_covariance());
+      const Vector noise = meas.sample(rng);
+      z.set_segment(suite.offset(i),
+                    z.segment(suite.offset(i), noise.size()) + noise);
+    }
+    return z;
+  }
+};
+
+TEST(RoboAds, DefaultsToOneReferencePerSensorModes) {
+  FacadeRig rig;
+  RoboAds detector(rig.model, rig.suite, rig.q, Vector{0.5, 0.5, 0.0},
+                   Matrix::identity(3) * 1e-4);
+  ASSERT_EQ(detector.modes().size(), 3u);
+  EXPECT_EQ(detector.modes()[0].label, "ref:wheel_encoder");
+  EXPECT_EQ(detector.modes()[1].label, "ref:ips");
+  EXPECT_EQ(detector.modes()[2].label, "ref:lidar");
+}
+
+TEST(RoboAds, AcceptsCustomModeSet) {
+  FacadeRig rig;
+  std::vector<Mode> modes = {{"ref:we+ips", {0, 1}, {2}},
+                             {"ref:we+lidar", {0, 2}, {1}}};
+  RoboAds detector(rig.model, rig.suite, rig.q, Vector{0.5, 0.5, 0.0},
+                   Matrix::identity(3) * 1e-4, {}, modes);
+  EXPECT_EQ(detector.modes().size(), 2u);
+
+  Vector x_true{0.5, 0.5, 0.0};
+  const Vector u{0.05, 0.05};
+  const DetectionReport r = detector.step(u, rig.simulate_step(x_true, u));
+  EXPECT_LT(r.selected_mode, 2u);
+  EXPECT_EQ(r.mode_weights.size(), 2u);
+}
+
+TEST(RoboAds, ReportCarriesEverythingFigure6Needs) {
+  FacadeRig rig;
+  RoboAds detector(rig.model, rig.suite, rig.q, Vector{0.5, 0.5, 0.0},
+                   Matrix::identity(3) * 1e-4);
+  Vector x_true{0.5, 0.5, 0.0};
+  DetectionReport r;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const Vector u{0.05, 0.055};
+    r = detector.step(u, rig.simulate_step(x_true, u));
+  }
+  EXPECT_EQ(r.iteration, 20u);
+  EXPECT_EQ(r.mode_weights.size(), 3u);
+  EXPECT_FALSE(r.selected_mode_label.empty());
+  EXPECT_EQ(r.state_estimate.size(), 3u);
+  EXPECT_EQ(r.state_covariance.rows(), 3u);
+  EXPECT_EQ(r.actuator_anomaly.size(), 2u);
+  // Per-sensor anomaly split: the selected mode's reference sensor has no
+  // estimate, every testing sensor does, with the sensor's own dimension.
+  ASSERT_EQ(r.sensor_anomaly_by_sensor.size(), 3u);
+  std::size_t with_estimate = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    if (!r.sensor_anomaly_by_sensor[s].empty()) {
+      ++with_estimate;
+      EXPECT_EQ(r.sensor_anomaly_by_sensor[s].size(),
+                rig.suite.sensor(s).dim());
+    }
+  }
+  EXPECT_EQ(with_estimate, 2u);
+  // Raw NUISE result is attached for offline decision replay.
+  EXPECT_EQ(r.selected_result.state.size(), 3u);
+  EXPECT_GT(r.selected_result.innovation.size(), 0u);
+  // Thresholds match the default config.
+  EXPECT_GT(r.decision.sensor_threshold, 0.0);
+  EXPECT_GT(r.decision.actuator_threshold, 0.0);
+}
+
+TEST(RoboAds, DetectsAndAttributesInjectedBias) {
+  FacadeRig rig;
+  RoboAds detector(rig.model, rig.suite, rig.q, Vector{0.5, 0.5, 0.0},
+                   Matrix::identity(3) * 1e-4);
+  Vector x_true{0.5, 0.5, 0.0};
+  Vector d(10);
+  d[3] = 0.1;  // IPS x
+  DetectionReport r;
+  for (std::size_t k = 1; k <= 30; ++k) {
+    const Vector u{0.05, 0.05};
+    r = detector.step(u, rig.simulate_step(x_true, u, d));
+  }
+  EXPECT_TRUE(r.decision.sensor_alarm);
+  ASSERT_EQ(r.decision.misbehaving_sensors.size(), 1u);
+  EXPECT_EQ(r.decision.misbehaving_sensors[0], 1u);
+  EXPECT_NEAR(r.sensor_anomaly_by_sensor[1][0], 0.1, 0.04);
+}
+
+TEST(RoboAds, ResetClearsEstimatorAndWindows) {
+  FacadeRig rig;
+  RoboAds detector(rig.model, rig.suite, rig.q, Vector{0.5, 0.5, 0.0},
+                   Matrix::identity(3) * 1e-4);
+  Vector x_true{0.5, 0.5, 0.0};
+  Vector d(10);
+  d[3] = 0.2;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const Vector u{0.05, 0.05};
+    detector.step(u, rig.simulate_step(x_true, u, d));
+  }
+  detector.reset(Vector{0.5, 0.5, 0.0}, Matrix::identity(3) * 1e-4);
+  EXPECT_EQ(detector.state_estimate(), (Vector{0.5, 0.5, 0.0}));
+
+  // A fresh clean iteration reports iteration 1 and no residual alarm.
+  Vector x2{0.5, 0.5, 0.0};
+  const Vector u{0.05, 0.05};
+  const DetectionReport r = detector.step(u, rig.simulate_step(x2, u));
+  EXPECT_EQ(r.iteration, 1u);
+  EXPECT_FALSE(r.decision.sensor_alarm);
+}
+
+}  // namespace
+}  // namespace roboads::core

@@ -1,0 +1,161 @@
+// Paper-faithful scoring semantics (§V "Metrics"): a true positive requires
+// the *correct* condition identification; an alarm with the wrong condition
+// is a false positive; delays measure trigger → correct capture.
+#include <gtest/gtest.h>
+
+#include "eval/khepera.h"
+#include "eval/scoring.h"
+
+namespace roboads::eval {
+namespace {
+
+// Builds a synthetic mission record with chosen detections and truth.
+IterationRecord make_record(std::size_t k,
+                            std::vector<std::size_t> detected,
+                            std::vector<std::size_t> truth_sensors,
+                            bool actuator_alarm, bool actuator_truth) {
+  IterationRecord rec;
+  rec.k = k;
+  rec.report.decision.misbehaving_sensors = std::move(detected);
+  rec.report.decision.sensor_alarm =
+      !rec.report.decision.misbehaving_sensors.empty();
+  rec.report.decision.actuator_alarm = actuator_alarm;
+  rec.report.sensor_anomaly_by_sensor.resize(3);
+  rec.report.actuator_anomaly = Vector(2);
+  rec.truth.corrupted_sensors = std::move(truth_sensors);
+  rec.truth.actuator_corrupted = actuator_truth;
+  return rec;
+}
+
+MissionResult make_mission(std::vector<IterationRecord> records) {
+  MissionResult result;
+  result.records = std::move(records);
+  result.dt = 0.1;
+  return result;
+}
+
+TEST(Scoring, CorrectIdentificationIsTruePositive) {
+  KheperaPlatform platform;
+  const MissionResult mission = make_mission({
+      make_record(1, {}, {}, false, false),       // TN
+      make_record(2, {1}, {1}, false, false),     // TP (exact set)
+      make_record(3, {0}, {1}, false, false),     // FP (wrong sensor)
+      make_record(4, {}, {1}, false, false),      // FN
+      make_record(5, {0, 1}, {1}, false, false),  // FP (superset ≠ exact)
+      make_record(6, {1}, {}, false, false),      // FP (no truth)
+  });
+  const ScenarioScore score = score_mission(mission, platform);
+  EXPECT_EQ(score.sensor.true_negatives, 1u);
+  EXPECT_EQ(score.sensor.true_positives, 1u);
+  EXPECT_EQ(score.sensor.false_positives, 3u);
+  EXPECT_EQ(score.sensor.false_negatives, 1u);
+}
+
+TEST(Scoring, ActuatorCountsAreBoolean) {
+  KheperaPlatform platform;
+  const MissionResult mission = make_mission({
+      make_record(1, {}, {}, false, false),  // TN
+      make_record(2, {}, {}, true, true),    // TP
+      make_record(3, {}, {}, false, true),   // FN
+      make_record(4, {}, {}, true, false),   // FP
+  });
+  const ScenarioScore score = score_mission(mission, platform);
+  EXPECT_EQ(score.actuator.true_negatives, 1u);
+  EXPECT_EQ(score.actuator.true_positives, 1u);
+  EXPECT_EQ(score.actuator.false_negatives, 1u);
+  EXPECT_EQ(score.actuator.false_positives, 1u);
+}
+
+TEST(Scoring, DelayMeasuredToCorrectCapture) {
+  KheperaPlatform platform;
+  // IPS corrupted from k=3; first flagged at k=6 → 0.3 s delay.
+  std::vector<IterationRecord> records;
+  for (std::size_t k = 1; k <= 10; ++k) {
+    const bool truth = k >= 3;
+    const bool detected = k >= 6;
+    records.push_back(make_record(
+        k, detected ? std::vector<std::size_t>{1} : std::vector<std::size_t>{},
+        truth ? std::vector<std::size_t>{1} : std::vector<std::size_t>{},
+        false, false));
+  }
+  const ScenarioScore score = score_mission(make_mission(std::move(records)),
+                                            platform);
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "sensor:ips");
+  EXPECT_EQ(score.delays[0].triggered_at, 3u);
+  ASSERT_TRUE(score.delays[0].seconds.has_value());
+  EXPECT_NEAR(*score.delays[0].seconds, 0.3, 1e-12);
+  ASSERT_TRUE(score.mean_delay_seconds().has_value());
+  EXPECT_TRUE(score.all_misbehaviors_detected());
+}
+
+TEST(Scoring, UndetectedMisbehaviorHasNoDelayValue) {
+  KheperaPlatform platform;
+  std::vector<IterationRecord> records;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    records.push_back(make_record(k, {}, {2}, false, false));
+  }
+  const ScenarioScore score = score_mission(make_mission(std::move(records)),
+                                            platform);
+  ASSERT_EQ(score.delays.size(), 1u);
+  EXPECT_EQ(score.delays[0].label, "sensor:lidar");
+  EXPECT_FALSE(score.delays[0].seconds.has_value());
+  EXPECT_FALSE(score.all_misbehaviors_detected());
+  EXPECT_FALSE(score.mean_delay_seconds().has_value());
+}
+
+TEST(Scoring, ConditionSequencesUseTable3Names) {
+  KheperaPlatform platform;
+  const MissionResult mission = make_mission({
+      make_record(1, {}, {}, false, false),
+      make_record(2, {0}, {0}, false, false),
+      make_record(3, {0}, {0}, false, false),
+      make_record(4, {0, 2}, {0, 2}, true, true),
+  });
+  const ScenarioScore score = score_mission(mission, platform);
+  EXPECT_EQ(score.sensor_condition_sequence, "S0→S2→S4");
+  EXPECT_EQ(score.actuator_condition_sequence, "A0→A1");
+}
+
+TEST(Scoring, MultiPhaseDelaysPerWorkflow) {
+  KheperaPlatform platform;
+  std::vector<IterationRecord> records;
+  for (std::size_t k = 1; k <= 12; ++k) {
+    std::vector<std::size_t> truth;
+    if (k >= 3) truth.push_back(0);   // wheel encoder first
+    if (k >= 7) truth.push_back(2);   // lidar second
+    std::vector<std::size_t> detected;
+    if (k >= 4) detected.push_back(0);  // WE caught after 1 iter
+    if (k >= 9) detected.push_back(2);  // lidar caught after 2 iters
+    records.push_back(make_record(k, std::move(detected), std::move(truth),
+                                  false, false));
+  }
+  const ScenarioScore score =
+      score_mission(make_mission(std::move(records)), platform);
+  ASSERT_EQ(score.delays.size(), 2u);
+  EXPECT_EQ(score.delays[0].label, "sensor:wheel_encoder");
+  EXPECT_NEAR(*score.delays[0].seconds, 0.1, 1e-12);
+  EXPECT_EQ(score.delays[1].label, "sensor:lidar");
+  EXPECT_NEAR(*score.delays[1].seconds, 0.2, 1e-12);
+}
+
+TEST(KheperaConditionNames, MatchTable3) {
+  KheperaPlatform platform;
+  EXPECT_EQ(platform.condition_name({}), "S0");
+  EXPECT_EQ(platform.condition_name({KheperaPlatform::kIps}), "S1");
+  EXPECT_EQ(platform.condition_name({KheperaPlatform::kWheelEncoder}), "S2");
+  EXPECT_EQ(platform.condition_name({KheperaPlatform::kLidar}), "S3");
+  EXPECT_EQ(platform.condition_name(
+                {KheperaPlatform::kWheelEncoder, KheperaPlatform::kLidar}),
+            "S4");
+  EXPECT_EQ(platform.condition_name(
+                {KheperaPlatform::kIps, KheperaPlatform::kLidar}),
+            "S5");
+  EXPECT_EQ(platform.condition_name(
+                {KheperaPlatform::kWheelEncoder, KheperaPlatform::kIps}),
+            "S6");
+  EXPECT_EQ(platform.condition_name({0, 1, 2}), "S{all}");
+}
+
+}  // namespace
+}  // namespace roboads::eval

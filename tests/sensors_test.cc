@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/standard_sensors.h"
+
+namespace roboads::sensors {
+namespace {
+
+SensorSuite khepera_suite() {
+  return SensorSuite({
+      make_wheel_odometry(3, 0.01, 0.02),
+      make_ips(3, 0.005, 0.01),
+      make_lidar_nav(3, 2.0, 0.03, 0.03),
+  });
+}
+
+TEST(StateProjectionSensor, MeasuresSelectedComponents) {
+  const SensorPtr ips = make_ips(3, 0.01, 0.02);
+  EXPECT_EQ(ips->name(), "ips");
+  EXPECT_EQ(ips->dim(), 3u);
+  EXPECT_EQ(ips->state_dim(), 3u);
+  const Vector z = ips->measure(Vector{1.0, 2.0, 0.5});
+  EXPECT_EQ(z, (Vector{1.0, 2.0, 0.5}));
+}
+
+TEST(StateProjectionSensor, JacobianIsProjection) {
+  const SensorPtr imu = make_imu_ins(0.05, 0.02, 0.03);
+  const Matrix c = imu->jacobian(Vector{1.0, 2.0, 0.5, 0.8});
+  EXPECT_EQ(c, Matrix::identity(4));
+  const auto mask = imu->angle_mask();
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_FALSE(mask[3]);
+}
+
+TEST(StateProjectionSensor, NoiseCovarianceIsDiagonalOfVariances) {
+  const SensorPtr ips = make_ips(3, 0.01, 0.02);
+  const Matrix& r = ips->noise_covariance();
+  EXPECT_NEAR(r(0, 0), 1e-4, 1e-15);
+  EXPECT_NEAR(r(2, 2), 4e-4, 1e-15);
+  EXPECT_EQ(r(0, 1), 0.0);
+}
+
+TEST(StateProjectionSensor, RejectsInvalidConstruction) {
+  EXPECT_THROW(make_ips(2, 0.01, 0.02), CheckError);  // θ index out of range
+  EXPECT_THROW(StateProjectionSensor("s", 3, {}, {}, Matrix()), CheckError);
+  EXPECT_THROW(
+      StateProjectionSensor("s", 3, {0}, {false, false}, Matrix{{1.0}}),
+      CheckError);
+  EXPECT_THROW(make_ips(3, -0.1, 0.02), CheckError);
+}
+
+TEST(StateProjectionSensor, AngleResidualWraps) {
+  const SensorPtr ips = make_ips(3, 0.01, 0.02);
+  // Reading θ = π − 0.1, state θ = −π + 0.1: shortest difference is −0.2.
+  const Vector r = ips->residual(Vector{0.0, 0.0, M_PI - 0.1},
+                                 Vector{0.0, 0.0, -M_PI + 0.1});
+  EXPECT_NEAR(r[2], -0.2, 1e-12);
+}
+
+TEST(LidarNav, MeasuresWallDistancesAndHeading) {
+  const SensorPtr lidar = make_lidar_nav(3, 2.0, 0.03, 0.03);
+  const Vector z = lidar->measure(Vector{0.5, 0.8, 0.3});
+  EXPECT_NEAR(z[0], 0.5, 1e-12);  // west wall
+  EXPECT_NEAR(z[1], 0.8, 1e-12);  // south wall
+  EXPECT_NEAR(z[2], 1.5, 1e-12);  // east wall: W - X
+  EXPECT_NEAR(z[3], 0.3, 1e-12);  // heading
+}
+
+TEST(LidarNav, JacobianShape) {
+  const SensorPtr lidar = make_lidar_nav(3, 2.0, 0.03, 0.03);
+  const Matrix c = lidar->jacobian(Vector{0.5, 0.8, 0.3});
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c(2, 0), -1.0);
+  EXPECT_EQ(c(3, 2), 1.0);
+  EXPECT_TRUE(lidar->angle_mask()[3]);
+  EXPECT_THROW(make_lidar_nav(3, -2.0, 0.03, 0.03), CheckError);
+  EXPECT_THROW(make_lidar_nav(2, 2.0, 0.03, 0.03), CheckError);
+}
+
+TEST(SensorSuite, LayoutAndLookup) {
+  const SensorSuite suite = khepera_suite();
+  EXPECT_EQ(suite.count(), 3u);
+  EXPECT_EQ(suite.total_dim(), 10u);  // 3 + 3 + 4
+  EXPECT_EQ(suite.offset(0), 0u);
+  EXPECT_EQ(suite.offset(1), 3u);
+  EXPECT_EQ(suite.offset(2), 6u);
+  EXPECT_EQ(suite.index_of("ips"), 1u);
+  EXPECT_EQ(suite.index_of("lidar"), 2u);
+  EXPECT_THROW(suite.index_of("gps"), CheckError);
+  EXPECT_THROW(suite.sensor(3), CheckError);
+}
+
+TEST(SensorSuite, RejectsMixedStateDims) {
+  EXPECT_THROW(SensorSuite({make_ips(3, 0.01, 0.01),
+                            make_imu_ins(0.05, 0.02, 0.03)}),
+               CheckError);
+  EXPECT_THROW(SensorSuite({nullptr}), CheckError);
+}
+
+TEST(SensorSuite, StackedMeasurement) {
+  const SensorSuite suite = khepera_suite();
+  const Vector x{0.5, 0.8, 0.3};
+  const Vector z = suite.measure(suite.all(), x);
+  ASSERT_EQ(z.size(), 10u);
+  EXPECT_NEAR(z[0], 0.5, 1e-12);  // odometry x
+  EXPECT_NEAR(z[3], 0.5, 1e-12);  // ips x
+  EXPECT_NEAR(z[8], 1.5, 1e-12);  // lidar east distance
+}
+
+TEST(SensorSuite, SubsetOperations) {
+  const SensorSuite suite = khepera_suite();
+  const Vector x{0.5, 0.8, 0.3};
+  const std::vector<std::size_t> subset{0, 2};  // odometry + lidar
+
+  const Vector z_sub = suite.measure(subset, x);
+  EXPECT_EQ(z_sub.size(), 7u);
+
+  const Matrix c = suite.jacobian(subset, x);
+  EXPECT_EQ(c.rows(), 7u);
+  EXPECT_EQ(c.cols(), 3u);
+
+  const Matrix r = suite.noise_covariance(subset);
+  EXPECT_EQ(r.rows(), 7u);
+  EXPECT_NEAR(r(0, 0), 1e-4, 1e-15);    // odometry position variance
+  EXPECT_NEAR(r(3, 3), 9e-4, 1e-15);    // lidar range variance
+  EXPECT_EQ(r(0, 4), 0.0);              // cross-sensor independence
+
+  const auto mask = suite.angle_mask(subset);
+  ASSERT_EQ(mask.size(), 7u);
+  EXPECT_TRUE(mask[2]);   // odometry θ
+  EXPECT_TRUE(mask[6]);   // lidar θ
+
+  // Slice extracts the right blocks from a full reading.
+  Vector z_full(10);
+  for (std::size_t i = 0; i < 10; ++i) z_full[i] = static_cast<double>(i);
+  const Vector sliced = suite.slice(subset, z_full);
+  EXPECT_EQ(sliced,
+            (Vector{0.0, 1.0, 2.0, 6.0, 7.0, 8.0, 9.0}));
+}
+
+TEST(SensorSuite, SubsetValidation) {
+  const SensorSuite suite = khepera_suite();
+  EXPECT_THROW(suite.measure({2, 0}, Vector(3)), CheckError);  // unsorted
+  EXPECT_THROW(suite.measure({0, 3}, Vector(3)), CheckError);  // out of range
+  EXPECT_THROW(suite.slice({0}, Vector(9)), CheckError);       // bad z size
+}
+
+TEST(SensorSuite, Complement) {
+  const SensorSuite suite = khepera_suite();
+  EXPECT_EQ(suite.complement({1}), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(suite.complement({}), suite.all());
+  EXPECT_TRUE(suite.complement({0, 1, 2}).empty());
+}
+
+TEST(SensorSuite, ResidualWrapsOnlyAngleComponents) {
+  const SensorSuite suite = khepera_suite();
+  const std::vector<std::size_t> subset{1};  // ips
+  const Vector x{0.0, 0.0, -M_PI + 0.1};
+  const Vector z{7.0, 0.0, M_PI - 0.1};
+  const Vector r = suite.residual(subset, z, x);
+  EXPECT_NEAR(r[0], 7.0, 1e-12);   // position untouched
+  EXPECT_NEAR(r[2], -0.2, 1e-12);  // angle wrapped
+}
+
+TEST(SensorSuite, EmptySuite) {
+  SensorSuite suite;
+  EXPECT_EQ(suite.count(), 0u);
+  EXPECT_EQ(suite.total_dim(), 0u);
+  EXPECT_TRUE(suite.all().empty());
+}
+
+}  // namespace
+}  // namespace roboads::sensors

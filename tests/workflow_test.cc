@@ -1,0 +1,137 @@
+// Sensing/actuation workflows and the ground-truth simulator (paper Fig. 1
+// structure): isolation of injectors, noise statistics, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/injector.h"
+#include "dynamics/diff_drive.h"
+#include "sensors/standard_sensors.h"
+#include "sim/simulator.h"
+
+namespace roboads::sim {
+namespace {
+
+TEST(DirectSensingWorkflow, ReadingStatisticsMatchTheModel) {
+  const sensors::SensorPtr ips = sensors::make_ips(3, 0.01, 0.02);
+  DirectSensingWorkflow workflow(ips);
+  EXPECT_EQ(workflow.name(), "ips");
+  EXPECT_EQ(workflow.dim(), 3u);
+
+  Rng rng(3);
+  const Vector x{0.5, 0.7, 0.3};
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 5000;
+  for (int k = 0; k < n; ++k) {
+    const Vector z = workflow.sense(static_cast<std::size_t>(k), x, rng);
+    sum += z[0];
+    sum2 += z[0] * z[0];
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.002);      // unbiased
+  EXPECT_NEAR(var, 1e-4, 2e-5);       // matches R
+}
+
+TEST(DirectSensingWorkflow, OutputInjectorCorruptsOnlyItsWindow) {
+  DirectSensingWorkflow workflow(sensors::make_ips(3, 1e-6, 1e-6));
+  workflow.attach_output_injector(std::make_shared<attacks::BiasInjector>(
+      attacks::Window{5, 10}, Vector{1.0, 0.0, 0.0}));
+  Rng rng(4);
+  const Vector x{0.5, 0.7, 0.3};
+  EXPECT_NEAR(workflow.sense(4, x, rng)[0], 0.5, 1e-3);
+  EXPECT_NEAR(workflow.sense(5, x, rng)[0], 1.5, 1e-3);
+  EXPECT_NEAR(workflow.sense(10, x, rng)[0], 0.5, 1e-3);
+  EXPECT_THROW(workflow.attach_output_injector(nullptr), CheckError);
+}
+
+TEST(ActuationWorkflow, ExecutesPlannedCommandsUnlessAttacked) {
+  ActuationWorkflow actuation("wheels");
+  EXPECT_EQ(actuation.name(), "wheels");
+  const Vector u{0.05, 0.06};
+  EXPECT_EQ(actuation.execute(1, u), u);
+
+  actuation.attach_injector(std::make_shared<attacks::ReplaceInjector>(
+      attacks::Window{3, 5}, std::vector<bool>{true, false},
+      Vector{0.0, 0.0}));
+  EXPECT_EQ(actuation.execute(2, u), u);
+  EXPECT_EQ(actuation.execute(3, u), (Vector{0.0, 0.06}));
+  EXPECT_EQ(actuation.execute(5, u), u);
+}
+
+TEST(SensingStack, StacksInOrderAndFindsByName) {
+  auto a = std::make_shared<DirectSensingWorkflow>(
+      sensors::make_wheel_odometry(3, 1e-6, 1e-6));
+  auto b = std::make_shared<DirectSensingWorkflow>(
+      sensors::make_ips(3, 1e-6, 1e-6));
+  SensingStack stack({a, b});
+  EXPECT_EQ(stack.total_dim(), 6u);
+  EXPECT_EQ(stack.workflow_named("ips").name(), "ips");
+  EXPECT_THROW(stack.workflow_named("gps"), CheckError);
+
+  Rng rng(5);
+  const Vector z = stack.sense_all(0, Vector{1.0, 2.0, 0.5}, rng);
+  ASSERT_EQ(z.size(), 6u);
+  EXPECT_NEAR(z[0], 1.0, 1e-3);
+  EXPECT_NEAR(z[3], 1.0, 1e-3);
+  EXPECT_THROW(SensingStack({}), CheckError);
+  EXPECT_THROW(SensingStack({nullptr}), CheckError);
+}
+
+TEST(RobotSimulator, PropagatesWithProcessNoise) {
+  dyn::DiffDrive model;
+  const Matrix q = Matrix::diagonal(Vector{1e-6, 1e-6, 1e-6});
+  RobotSimulator sim(model, q, Vector{0.5, 0.5, 0.0});
+  Rng rng(6);
+  sim.step(Vector{0.05, 0.05}, rng);
+  // One straight step of 5 mm plus sub-mm noise.
+  EXPECT_NEAR(sim.state()[0], 0.505, 0.005);
+  EXPECT_NEAR(sim.state()[1], 0.5, 0.005);
+
+  sim.reset(Vector{0.1, 0.1, 0.1});
+  EXPECT_EQ(sim.state(), (Vector{0.1, 0.1, 0.1}));
+  EXPECT_THROW(sim.reset(Vector(2)), CheckError);
+  EXPECT_THROW(RobotSimulator(model, Matrix(2, 2), Vector(3)), CheckError);
+}
+
+TEST(RobotSimulator, DeterministicPerSeed) {
+  dyn::DiffDrive model;
+  const Matrix q = Matrix::diagonal(Vector{1e-6, 1e-6, 1e-6});
+  RobotSimulator a(model, q, Vector{0.5, 0.5, 0.0});
+  RobotSimulator b(model, q, Vector{0.5, 0.5, 0.0});
+  Rng ra(9), rb(9);
+  for (int k = 0; k < 50; ++k) {
+    a.step(Vector{0.05, 0.06}, ra);
+    b.step(Vector{0.05, 0.06}, rb);
+  }
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(LidarWorkflow, OutputNoiseRaisesErrorToModelLevel) {
+  const World world(2.0, 1.5);
+  LidarConfig cfg;
+  cfg.fov = 2.0 * M_PI;
+  cfg.range_noise_stddev = 0.0;  // isolate the output-noise channel
+  LidarSensingWorkflow workflow(world, cfg, ScanProcessorConfig{},
+                                Vector{0.6, 0.5, 0.2},
+                                Vector{0.02, 0.02, 0.02, 0.02});
+  Rng rng(12);
+  const Vector pose{0.6, 0.5, 0.2};
+  double acc = 0.0, acc2 = 0.0;
+  const int n = 2000;
+  for (int k = 0; k < n; ++k) {
+    const Vector z = workflow.sense(static_cast<std::size_t>(k), pose, rng);
+    acc += z[0];
+    acc2 += z[0] * z[0];
+  }
+  const double mean = acc / n;
+  const double stddev = std::sqrt(acc2 / n - mean * mean);
+  EXPECT_NEAR(mean, 0.6, 0.01);
+  EXPECT_NEAR(stddev, 0.02, 0.005);
+  EXPECT_THROW(LidarSensingWorkflow(world, cfg, ScanProcessorConfig{},
+                                    Vector{0.6, 0.5, 0.2}, Vector{0.02}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace roboads::sim

@@ -1,0 +1,71 @@
+#include "sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace roboads::sim {
+namespace {
+
+World arena() {
+  return World(2.0, 1.5, {geom::Aabb{{0.8, 0.6}, {1.2, 0.9}}});
+}
+
+TEST(World, RejectsInvalidConstruction) {
+  EXPECT_THROW(World(0.0, 1.0), CheckError);
+  EXPECT_THROW(World(2.0, 1.5, {geom::Aabb{{1.5, 0.5}, {2.5, 0.9}}}),
+               CheckError);
+}
+
+TEST(World, FreeSpaceQueries) {
+  const World w = arena();
+  EXPECT_TRUE(w.free({0.3, 0.3}));
+  EXPECT_FALSE(w.free({1.0, 0.7}));   // inside the obstacle
+  EXPECT_FALSE(w.free({-0.1, 0.5}));  // outside the arena
+  EXPECT_FALSE(w.free({2.1, 0.5}));
+  // Radius padding shrinks free space near walls and obstacles.
+  EXPECT_TRUE(w.free({0.05, 0.05}));
+  EXPECT_FALSE(w.free({0.05, 0.05}, 0.1));
+  EXPECT_TRUE(w.free({0.7, 0.5}));
+  EXPECT_FALSE(w.free({0.75, 0.55}, 0.1));
+}
+
+TEST(World, SegmentQueries) {
+  const World w = arena();
+  EXPECT_TRUE(w.segment_free({0.2, 0.2}, {0.6, 1.2}));
+  // Straight through the obstacle.
+  EXPECT_FALSE(w.segment_free({0.5, 0.75}, {1.5, 0.75}));
+  // Endpoint out of the arena.
+  EXPECT_FALSE(w.segment_free({0.5, 0.5}, {2.5, 0.5}));
+}
+
+TEST(World, RaycastHitsWalls) {
+  const World w = arena();
+  EXPECT_NEAR(w.raycast({0.5, 0.5}, M_PI, 10.0), 0.5, 1e-9);       // west
+  EXPECT_NEAR(w.raycast({0.5, 0.5}, -M_PI / 2.0, 10.0), 0.5, 1e-9);  // south
+  EXPECT_NEAR(w.raycast({0.5, 0.5}, M_PI / 2.0, 10.0), 1.0, 1e-9);   // north
+  EXPECT_NEAR(w.raycast({0.5, 0.25}, 0.0, 10.0), 1.5, 1e-9);         // east
+}
+
+TEST(World, RaycastHitsObstacleBeforeWall) {
+  const World w = arena();
+  // Ray from the west toward the east wall at obstacle height.
+  EXPECT_NEAR(w.raycast({0.5, 0.75}, 0.0, 10.0), 0.3, 1e-9);
+}
+
+TEST(World, RaycastClipsAtMaxRange) {
+  const World w = arena();
+  EXPECT_DOUBLE_EQ(w.raycast({0.5, 0.25}, 0.0, 0.7), 0.7);
+  EXPECT_THROW(w.raycast({0.5, 0.25}, 0.0, 0.0), CheckError);
+}
+
+TEST(World, WallsAreClosedRectangle) {
+  const World w = arena();
+  ASSERT_EQ(w.walls().size(), 4u);
+  double perimeter = 0.0;
+  for (const geom::Segment& s : w.walls()) perimeter += s.length();
+  EXPECT_NEAR(perimeter, 2.0 * (2.0 + 1.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace roboads::sim
