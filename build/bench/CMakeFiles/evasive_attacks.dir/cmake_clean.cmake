@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasive_attacks.dir/evasive_attacks.cc.o"
+  "CMakeFiles/evasive_attacks.dir/evasive_attacks.cc.o.d"
+  "evasive_attacks"
+  "evasive_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasive_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_scenarios.dir/extended_scenarios.cc.o"
+  "CMakeFiles/extended_scenarios.dir/extended_scenarios.cc.o.d"
+  "extended_scenarios"
+  "extended_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

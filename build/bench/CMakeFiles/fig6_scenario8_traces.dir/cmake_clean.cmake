@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scenario8_traces.dir/fig6_scenario8_traces.cc.o"
+  "CMakeFiles/fig6_scenario8_traces.dir/fig6_scenario8_traces.cc.o.d"
+  "fig6_scenario8_traces"
+  "fig6_scenario8_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scenario8_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_scenario8_traces.
+# This may be replaced when dependencies are built.

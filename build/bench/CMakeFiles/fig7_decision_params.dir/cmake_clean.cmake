@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_decision_params.dir/fig7_decision_params.cc.o"
+  "CMakeFiles/fig7_decision_params.dir/fig7_decision_params.cc.o.d"
+  "fig7_decision_params"
+  "fig7_decision_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_decision_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

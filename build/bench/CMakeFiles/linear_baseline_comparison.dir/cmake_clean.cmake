@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_baseline_comparison.dir/linear_baseline_comparison.cc.o"
+  "CMakeFiles/linear_baseline_comparison.dir/linear_baseline_comparison.cc.o.d"
+  "linear_baseline_comparison"
+  "linear_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_set_ablation.dir/mode_set_ablation.cc.o"
+  "CMakeFiles/mode_set_ablation.dir/mode_set_ablation.cc.o.d"
+  "mode_set_ablation"
+  "mode_set_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_set_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuise_vs_ekf.dir/nuise_vs_ekf.cc.o"
+  "CMakeFiles/nuise_vs_ekf.dir/nuise_vs_ekf.cc.o.d"
+  "nuise_vs_ekf"
+  "nuise_vs_ekf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuise_vs_ekf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_nuise.dir/perf_nuise.cc.o"
+  "CMakeFiles/perf_nuise.dir/perf_nuise.cc.o.d"
+  "perf_nuise"
+  "perf_nuise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_nuise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_response.dir/recovery_response.cc.o"
+  "CMakeFiles/recovery_response.dir/recovery_response.cc.o.d"
+  "recovery_response"
+  "recovery_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

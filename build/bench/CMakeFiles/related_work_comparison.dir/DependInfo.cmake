@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/related_work_comparison.cc" "bench/CMakeFiles/related_work_comparison.dir/related_work_comparison.cc.o" "gcc" "bench/CMakeFiles/related_work_comparison.dir/related_work_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/roboads_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/roboads_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/roboads_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/roboads_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roboads_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/roboads_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/roboads_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/roboads_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/roboads_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/roboads_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/roboads_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

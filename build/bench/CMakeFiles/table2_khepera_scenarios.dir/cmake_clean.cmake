@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_khepera_scenarios.dir/table2_khepera_scenarios.cc.o"
+  "CMakeFiles/table2_khepera_scenarios.dir/table2_khepera_scenarios.cc.o.d"
+  "table2_khepera_scenarios"
+  "table2_khepera_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_khepera_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sensor_settings.dir/table4_sensor_settings.cc.o"
+  "CMakeFiles/table4_sensor_settings.dir/table4_sensor_settings.cc.o.d"
+  "table4_sensor_settings"
+  "table4_sensor_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sensor_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

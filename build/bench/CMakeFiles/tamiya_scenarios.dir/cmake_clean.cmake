@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamiya_scenarios.dir/tamiya_scenarios.cc.o"
+  "CMakeFiles/tamiya_scenarios.dir/tamiya_scenarios.cc.o.d"
+  "tamiya_scenarios"
+  "tamiya_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamiya_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

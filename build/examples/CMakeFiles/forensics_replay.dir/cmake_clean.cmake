@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_replay.dir/forensics_replay.cpp.o"
+  "CMakeFiles/forensics_replay.dir/forensics_replay.cpp.o.d"
+  "forensics_replay"
+  "forensics_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khepera_mission.dir/khepera_mission.cpp.o"
+  "CMakeFiles/khepera_mission.dir/khepera_mission.cpp.o.d"
+  "khepera_mission"
+  "khepera_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khepera_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

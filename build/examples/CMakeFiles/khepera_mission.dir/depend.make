@@ -1,0 +1,2 @@
+# Empty dependencies file for khepera_mission.
+# This may be replaced when dependencies are built.

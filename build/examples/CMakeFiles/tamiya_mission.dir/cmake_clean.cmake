@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamiya_mission.dir/tamiya_mission.cpp.o"
+  "CMakeFiles/tamiya_mission.dir/tamiya_mission.cpp.o.d"
+  "tamiya_mission"
+  "tamiya_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamiya_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("matrix")
+subdirs("random")
+subdirs("stats")
+subdirs("geometry")
+subdirs("dynamics")
+subdirs("sensors")
+subdirs("sim")
+subdirs("bus")
+subdirs("planning")
+subdirs("attacks")
+subdirs("core")
+subdirs("eval")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/injector.cc" "src/attacks/CMakeFiles/roboads_attacks.dir/injector.cc.o" "gcc" "src/attacks/CMakeFiles/roboads_attacks.dir/injector.cc.o.d"
+  "/root/repo/src/attacks/scenario.cc" "src/attacks/CMakeFiles/roboads_attacks.dir/scenario.cc.o" "gcc" "src/attacks/CMakeFiles/roboads_attacks.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/roboads_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/roboads_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

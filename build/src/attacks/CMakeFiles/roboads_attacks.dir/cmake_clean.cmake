@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_attacks.dir/injector.cc.o"
+  "CMakeFiles/roboads_attacks.dir/injector.cc.o.d"
+  "CMakeFiles/roboads_attacks.dir/scenario.cc.o"
+  "CMakeFiles/roboads_attacks.dir/scenario.cc.o.d"
+  "libroboads_attacks.a"
+  "libroboads_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

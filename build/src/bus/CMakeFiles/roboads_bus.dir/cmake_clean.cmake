@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_bus.dir/baseline_detectors.cc.o"
+  "CMakeFiles/roboads_bus.dir/baseline_detectors.cc.o.d"
+  "CMakeFiles/roboads_bus.dir/packet.cc.o"
+  "CMakeFiles/roboads_bus.dir/packet.cc.o.d"
+  "libroboads_bus.a"
+  "libroboads_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

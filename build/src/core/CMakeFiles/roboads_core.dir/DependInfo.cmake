@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decision.cc" "src/core/CMakeFiles/roboads_core.dir/decision.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/decision.cc.o.d"
+  "/root/repo/src/core/ekf.cc" "src/core/CMakeFiles/roboads_core.dir/ekf.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/ekf.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/roboads_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/linear_baseline.cc" "src/core/CMakeFiles/roboads_core.dir/linear_baseline.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/linear_baseline.cc.o.d"
+  "/root/repo/src/core/mode.cc" "src/core/CMakeFiles/roboads_core.dir/mode.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/mode.cc.o.d"
+  "/root/repo/src/core/nuise.cc" "src/core/CMakeFiles/roboads_core.dir/nuise.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/nuise.cc.o.d"
+  "/root/repo/src/core/observability.cc" "src/core/CMakeFiles/roboads_core.dir/observability.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/observability.cc.o.d"
+  "/root/repo/src/core/roboads.cc" "src/core/CMakeFiles/roboads_core.dir/roboads.cc.o" "gcc" "src/core/CMakeFiles/roboads_core.dir/roboads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/roboads_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/roboads_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/roboads_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/roboads_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

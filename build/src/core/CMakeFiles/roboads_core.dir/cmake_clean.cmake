@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_core.dir/decision.cc.o"
+  "CMakeFiles/roboads_core.dir/decision.cc.o.d"
+  "CMakeFiles/roboads_core.dir/ekf.cc.o"
+  "CMakeFiles/roboads_core.dir/ekf.cc.o.d"
+  "CMakeFiles/roboads_core.dir/engine.cc.o"
+  "CMakeFiles/roboads_core.dir/engine.cc.o.d"
+  "CMakeFiles/roboads_core.dir/linear_baseline.cc.o"
+  "CMakeFiles/roboads_core.dir/linear_baseline.cc.o.d"
+  "CMakeFiles/roboads_core.dir/mode.cc.o"
+  "CMakeFiles/roboads_core.dir/mode.cc.o.d"
+  "CMakeFiles/roboads_core.dir/nuise.cc.o"
+  "CMakeFiles/roboads_core.dir/nuise.cc.o.d"
+  "CMakeFiles/roboads_core.dir/observability.cc.o"
+  "CMakeFiles/roboads_core.dir/observability.cc.o.d"
+  "CMakeFiles/roboads_core.dir/roboads.cc.o"
+  "CMakeFiles/roboads_core.dir/roboads.cc.o.d"
+  "libroboads_core.a"
+  "libroboads_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamics/bicycle.cc" "src/dynamics/CMakeFiles/roboads_dynamics.dir/bicycle.cc.o" "gcc" "src/dynamics/CMakeFiles/roboads_dynamics.dir/bicycle.cc.o.d"
+  "/root/repo/src/dynamics/diff_drive.cc" "src/dynamics/CMakeFiles/roboads_dynamics.dir/diff_drive.cc.o" "gcc" "src/dynamics/CMakeFiles/roboads_dynamics.dir/diff_drive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_dynamics.dir/bicycle.cc.o"
+  "CMakeFiles/roboads_dynamics.dir/bicycle.cc.o.d"
+  "CMakeFiles/roboads_dynamics.dir/diff_drive.cc.o"
+  "CMakeFiles/roboads_dynamics.dir/diff_drive.cc.o.d"
+  "libroboads_dynamics.a"
+  "libroboads_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_eval.dir/khepera.cc.o"
+  "CMakeFiles/roboads_eval.dir/khepera.cc.o.d"
+  "CMakeFiles/roboads_eval.dir/mission.cc.o"
+  "CMakeFiles/roboads_eval.dir/mission.cc.o.d"
+  "CMakeFiles/roboads_eval.dir/platform.cc.o"
+  "CMakeFiles/roboads_eval.dir/platform.cc.o.d"
+  "CMakeFiles/roboads_eval.dir/recovery.cc.o"
+  "CMakeFiles/roboads_eval.dir/recovery.cc.o.d"
+  "CMakeFiles/roboads_eval.dir/scoring.cc.o"
+  "CMakeFiles/roboads_eval.dir/scoring.cc.o.d"
+  "CMakeFiles/roboads_eval.dir/tamiya.cc.o"
+  "CMakeFiles/roboads_eval.dir/tamiya.cc.o.d"
+  "CMakeFiles/roboads_eval.dir/trace_io.cc.o"
+  "CMakeFiles/roboads_eval.dir/trace_io.cc.o.d"
+  "libroboads_eval.a"
+  "libroboads_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_geometry.dir/geometry.cc.o"
+  "CMakeFiles/roboads_geometry.dir/geometry.cc.o.d"
+  "libroboads_geometry.a"
+  "libroboads_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_matrix.dir/decomp.cc.o"
+  "CMakeFiles/roboads_matrix.dir/decomp.cc.o.d"
+  "CMakeFiles/roboads_matrix.dir/matrix.cc.o"
+  "CMakeFiles/roboads_matrix.dir/matrix.cc.o.d"
+  "libroboads_matrix.a"
+  "libroboads_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_planning.dir/rrt_star.cc.o"
+  "CMakeFiles/roboads_planning.dir/rrt_star.cc.o.d"
+  "CMakeFiles/roboads_planning.dir/tracker.cc.o"
+  "CMakeFiles/roboads_planning.dir/tracker.cc.o.d"
+  "libroboads_planning.a"
+  "libroboads_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

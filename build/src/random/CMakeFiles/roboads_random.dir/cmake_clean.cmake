@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_random.dir/rng.cc.o"
+  "CMakeFiles/roboads_random.dir/rng.cc.o.d"
+  "libroboads_random.a"
+  "libroboads_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/sensor_model.cc" "src/sensors/CMakeFiles/roboads_sensors.dir/sensor_model.cc.o" "gcc" "src/sensors/CMakeFiles/roboads_sensors.dir/sensor_model.cc.o.d"
+  "/root/repo/src/sensors/standard_sensors.cc" "src/sensors/CMakeFiles/roboads_sensors.dir/standard_sensors.cc.o" "gcc" "src/sensors/CMakeFiles/roboads_sensors.dir/standard_sensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/roboads_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

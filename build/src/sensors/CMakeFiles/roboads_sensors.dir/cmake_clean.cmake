@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_sensors.dir/sensor_model.cc.o"
+  "CMakeFiles/roboads_sensors.dir/sensor_model.cc.o.d"
+  "CMakeFiles/roboads_sensors.dir/standard_sensors.cc.o"
+  "CMakeFiles/roboads_sensors.dir/standard_sensors.cc.o.d"
+  "libroboads_sensors.a"
+  "libroboads_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroboads_sensors.a"
+)

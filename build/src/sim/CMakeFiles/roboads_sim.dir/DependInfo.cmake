@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/lidar.cc" "src/sim/CMakeFiles/roboads_sim.dir/lidar.cc.o" "gcc" "src/sim/CMakeFiles/roboads_sim.dir/lidar.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/roboads_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/roboads_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/workflow.cc" "src/sim/CMakeFiles/roboads_sim.dir/workflow.cc.o" "gcc" "src/sim/CMakeFiles/roboads_sim.dir/workflow.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/roboads_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/roboads_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/roboads_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/roboads_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/roboads_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/roboads_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/roboads_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_sim.dir/lidar.cc.o"
+  "CMakeFiles/roboads_sim.dir/lidar.cc.o.d"
+  "CMakeFiles/roboads_sim.dir/simulator.cc.o"
+  "CMakeFiles/roboads_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/roboads_sim.dir/workflow.cc.o"
+  "CMakeFiles/roboads_sim.dir/workflow.cc.o.d"
+  "CMakeFiles/roboads_sim.dir/world.cc.o"
+  "CMakeFiles/roboads_sim.dir/world.cc.o.d"
+  "libroboads_sim.a"
+  "libroboads_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

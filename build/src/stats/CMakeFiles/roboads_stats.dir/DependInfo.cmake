@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cc" "src/stats/CMakeFiles/roboads_stats.dir/chi_square.cc.o" "gcc" "src/stats/CMakeFiles/roboads_stats.dir/chi_square.cc.o.d"
+  "/root/repo/src/stats/gaussian.cc" "src/stats/CMakeFiles/roboads_stats.dir/gaussian.cc.o" "gcc" "src/stats/CMakeFiles/roboads_stats.dir/gaussian.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/stats/CMakeFiles/roboads_stats.dir/metrics.cc.o" "gcc" "src/stats/CMakeFiles/roboads_stats.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_stats.dir/chi_square.cc.o"
+  "CMakeFiles/roboads_stats.dir/chi_square.cc.o.d"
+  "CMakeFiles/roboads_stats.dir/gaussian.cc.o"
+  "CMakeFiles/roboads_stats.dir/gaussian.cc.o.d"
+  "CMakeFiles/roboads_stats.dir/metrics.cc.o"
+  "CMakeFiles/roboads_stats.dir/metrics.cc.o.d"
+  "libroboads_stats.a"
+  "libroboads_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attacks_test.cc" "tests/CMakeFiles/attacks_test.dir/attacks_test.cc.o" "gcc" "tests/CMakeFiles/attacks_test.dir/attacks_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/roboads_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/roboads_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/roboads_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/roboads_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

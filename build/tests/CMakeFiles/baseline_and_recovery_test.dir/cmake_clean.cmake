@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_and_recovery_test.dir/baseline_and_recovery_test.cc.o"
+  "CMakeFiles/baseline_and_recovery_test.dir/baseline_and_recovery_test.cc.o.d"
+  "baseline_and_recovery_test"
+  "baseline_and_recovery_test.pdb"
+  "baseline_and_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_and_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

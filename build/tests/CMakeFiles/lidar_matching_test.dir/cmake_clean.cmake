@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidar_matching_test.dir/lidar_matching_test.cc.o"
+  "CMakeFiles/lidar_matching_test.dir/lidar_matching_test.cc.o.d"
+  "lidar_matching_test"
+  "lidar_matching_test.pdb"
+  "lidar_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidar_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

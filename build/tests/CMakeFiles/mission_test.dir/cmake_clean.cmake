@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_test.dir/mission_test.cc.o"
+  "CMakeFiles/mission_test.dir/mission_test.cc.o.d"
+  "mission_test"
+  "mission_test.pdb"
+  "mission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

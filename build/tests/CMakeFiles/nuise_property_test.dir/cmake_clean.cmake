@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuise_property_test.dir/nuise_property_test.cc.o"
+  "CMakeFiles/nuise_property_test.dir/nuise_property_test.cc.o.d"
+  "nuise_property_test"
+  "nuise_property_test.pdb"
+  "nuise_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuise_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

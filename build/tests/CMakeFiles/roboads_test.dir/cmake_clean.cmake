@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roboads_test.dir/roboads_test.cc.o"
+  "CMakeFiles/roboads_test.dir/roboads_test.cc.o.d"
+  "roboads_test"
+  "roboads_test.pdb"
+  "roboads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roboads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

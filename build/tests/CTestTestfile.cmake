@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/decomp_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamics_test[1]_include.cmake")
+include("/root/repo/build/tests/sensors_test[1]_include.cmake")
+include("/root/repo/build/tests/nuise_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/lidar_test[1]_include.cmake")
+include("/root/repo/build/tests/planning_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/mission_test[1]_include.cmake")
+include("/root/repo/build/tests/bus_test[1]_include.cmake")
+include("/root/repo/build/tests/observability_test[1]_include.cmake")
+include("/root/repo/build/tests/ekf_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_and_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/scoring_test[1]_include.cmake")
+include("/root/repo/build/tests/roboads_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/lidar_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/nuise_property_test[1]_include.cmake")
