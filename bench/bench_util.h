@@ -2,15 +2,32 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "eval/batch.h"
 #include "eval/khepera.h"
 #include "eval/mission.h"
 #include "eval/scoring.h"
 
 namespace roboads::bench {
+
+// Every bench accepts `--threads=N` (0 = hardware concurrency, 1 = serial)
+// for its batched scenario sweep. The printed numbers are identical for
+// every setting — the runner writes into per-job slots and reduces
+// serially — so the knob is pure wall-clock.
+inline sim::WorkflowConfig workflow_config_from_args(int argc, char** argv) {
+  sim::WorkflowConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      config.num_threads =
+          static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+  }
+  return config;
+}
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {

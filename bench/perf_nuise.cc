@@ -11,6 +11,7 @@
 #include "core/roboads.h"
 #include "dynamics/bicycle.h"
 #include "dynamics/diff_drive.h"
+#include "eval/batch.h"
 #include "eval/khepera.h"
 #include "eval/tamiya.h"
 #include "sim/lidar.h"
@@ -56,6 +57,49 @@ void BM_EngineStepKhepera(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineStepKhepera);
+
+// The parallel fan-out on the §VI complete mode set (2³ − 1 = 7 NUISE
+// instances per step): Arg is EngineConfig::num_threads. Outputs are
+// bit-identical across Args (tests/engine_parallel_test.cc); only the
+// wall-clock should move — the PR target is ≥ 2× at 4 threads vs 1 on a
+// multi-core host.
+void BM_EngineStepCompleteModeSet(benchmark::State& state) {
+  KheperaFixture f;
+  core::EngineConfig engine_cfg;
+  engine_cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  core::MultiModeEngine engine(
+      f.platform.model(), f.platform.suite(),
+      core::complete_mode_set(f.platform.suite()), f.platform.process_cov(),
+      f.x, Matrix::identity(3) * 1e-4, engine_cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(f.u, f.z));
+  }
+  state.counters["modes"] =
+      static_cast<double>(engine.modes().size());
+  state.counters["threads"] = static_cast<double>(engine.thread_count());
+}
+BENCHMARK(BM_EngineStepCompleteModeSet)
+    ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Batched (scenario, seed) mission throughput: eight independent 60-
+// iteration Khepera missions per batch, Arg = WorkflowConfig::num_threads.
+void BM_MissionBatchKhepera(benchmark::State& state) {
+  eval::KheperaPlatform platform;
+  sim::WorkflowConfig workflow_cfg;
+  workflow_cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  std::vector<eval::MissionJob> jobs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    jobs.push_back(eval::make_mission_job(
+        [&platform, i] { return platform.table2_scenario(i % 11 + 1); },
+        100 + i, 60));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::run_mission_batch(platform, jobs, workflow_cfg));
+  }
+  state.counters["missions"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_MissionBatchKhepera)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_FullDetectorStepKhepera(benchmark::State& state) {
   KheperaFixture f;

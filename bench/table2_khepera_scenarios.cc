@@ -20,13 +20,29 @@ void print_table3() {
       "  A0: no actuator misbehavior        A1: actuator misbehavior\n");
 }
 
-int run() {
+int run(const sim::WorkflowConfig& workflow_config) {
   print_table3();
   print_header(
       "Table II — Khepera attack/failure scenarios and detection results",
       "RoboADS (DSN'18) Table II and §V-C");
 
   eval::KheperaPlatform platform;
+
+  // All thirteen missions — the eleven Table II scenarios plus the two
+  // §V-C anomaly-quantification runs — are independent (scenario, seed)
+  // tasks; one batch executes them concurrently and hands the results back
+  // in job order for the serial printing below.
+  std::vector<eval::MissionJob> jobs;
+  for (std::size_t n = 1; n <= 11; ++n) {
+    jobs.push_back(eval::make_mission_job(
+        [&platform, n] { return platform.table2_scenario(n); }, 1000 + n));
+  }
+  jobs.push_back(eval::make_mission_job(
+      [&platform] { return platform.table2_scenario(3); }, 42));
+  jobs.push_back(eval::make_mission_job(
+      [&platform] { return platform.table2_scenario(1); }, 43));
+  const std::vector<eval::MissionJobResult> runs =
+      eval::run_mission_batch(platform, jobs, workflow_config);
 
   std::printf("%-42s %-22s %-12s %-10s %-22s %-22s\n", "scenario",
               "detection result", "delay", "goal", "A: FPR/FNR",
@@ -38,8 +54,7 @@ int run() {
   bool all_detected = true;
 
   for (std::size_t n = 1; n <= 11; ++n) {
-    const attacks::Scenario scenario = platform.table2_scenario(n);
-    const ScenarioRun run = run_and_score(platform, scenario, 1000 + n);
+    const eval::MissionJobResult& run = runs[n - 1];
     const eval::ScenarioScore& s = run.score;
 
     std::string delays;
@@ -94,14 +109,13 @@ int run() {
       all_detected ? "yes" : "NO");
 
   // Anomaly quantification on scenario #3 (§V-C: IPS bomb +0.07 m estimated
-  // as +0.069 m, ~2% normalized error) and scenario #1 (wheel bomb).
+  // as +0.069 m, ~2% normalized error) and scenario #1 (wheel bomb),
+  // computed from the two extra batch jobs.
   {
-    const ScenarioRun run3 =
-        run_and_score(platform, platform.table2_scenario(3), 42);
+    const eval::MissionJobResult& run3 = runs[11];
     const double err_s = eval::sensor_quantification_error(
         run3.result, eval::KheperaPlatform::kIps, Vector{0.07, 0.0, 0.0}, 90);
-    const ScenarioRun run1 =
-        run_and_score(platform, platform.table2_scenario(1), 43);
+    const eval::MissionJobResult& run1 = runs[12];
     const double bomb = dyn::khepera_units_to_mps(6000.0);
     const double err_a = eval::actuator_quantification_error(
         run1.result, Vector{-bomb, bomb}, 90);
@@ -116,4 +130,7 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  return roboads::bench::run(
+      roboads::bench::workflow_config_from_args(argc, argv));
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: build + ctest once normally, then once under
+# ThreadSanitizer (RoboADS_SANITIZE=thread) so data races in the parallel
+# engine fan-out and the batched scenario runner fail the pipeline, not a
+# user. Usage:
+#
+#   ./ci.sh            # both passes
+#   ./ci.sh normal     # plain build + ctest only
+#   ./ci.sh tsan       # TSan build + ctest only
+#
+# JOBS=<n> overrides the parallelism (default: nproc).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+run_pass() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+case "$MODE" in
+  normal) run_pass build ;;
+  tsan)   run_pass build-tsan -DRoboADS_SANITIZE=thread ;;
+  all)
+    run_pass build
+    run_pass build-tsan -DRoboADS_SANITIZE=thread
+    ;;
+  *) echo "usage: $0 [normal|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "ci.sh: all requested passes green"

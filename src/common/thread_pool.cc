@@ -1,0 +1,126 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <limits>
+
+#include "common/check.h"
+
+namespace roboads::common {
+
+// One fork/join region. `next` hands out indices; everything else is
+// guarded by the pool mutex. The batch lives on the parallel_for caller's
+// stack, so the caller must not return until `active` drops back to zero —
+// a late-waking worker may still hold the pointer after the last index
+// completed.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t completed = 0;  // indices fully executed
+  std::size_t active = 0;     // workers currently inside run_items
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t size) {
+  ROBOADS_CHECK(size >= 1, "thread pool size must be at least 1");
+  workers_.reserve(size - 1);
+  for (std::size_t i = 0; i + 1 < size; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && epoch_ != seen);
+      });
+      if (stop_) return;
+      seen = epoch_;
+      batch = batch_;
+      ++batch->active;
+    }
+    run_items(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --batch->active;
+      if (batch->active == 0 && batch->completed == batch->count) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_items(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    std::exception_ptr err;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err && i < batch.error_index) {
+      batch.error_index = i;
+      batch.error = err;
+    }
+    if (++batch.completed == batch.count) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // The exact serial path: same thread, same order, exceptions propagate
+    // directly.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.count = count;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ROBOADS_CHECK(batch_ == nullptr,
+                  "thread pool parallel_for is not reentrant");
+    batch_ = &batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  run_items(batch);  // the calling thread is the n-th worker
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.completed == batch.count && batch.active == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace roboads::common

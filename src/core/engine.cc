@@ -19,6 +19,10 @@ MultiModeEngine::MultiModeEngine(const dyn::DynamicModel& model,
   for (const Mode& m : modes_) {
     estimators_.emplace_back(model, suite, m, process_cov);
   }
+  // A pool wider than the mode count only burns idle workers.
+  pool_ = std::make_unique<common::ThreadPool>(
+      std::min(common::ThreadPool::resolve_thread_count(config_.num_threads),
+               modes_.size()));
   reset(x0, p0);
 }
 
@@ -33,15 +37,22 @@ void MultiModeEngine::reset(const Vector& x0, const Matrix& p0) {
 EngineResult MultiModeEngine::step(const Vector& u_prev,
                                    const Vector& z_full) {
   EngineResult out;
-  out.per_mode.reserve(modes_.size());
+  out.per_mode.resize(modes_.size());
 
-  // Run every mode's NUISE from the shared previous estimate and collect
-  // log-weights log(μ_m,k−1 · N_m,k).
+  // Run every mode's NUISE from the shared previous estimate. Each task
+  // reads only shared immutable state (x̂_{k−1|k−1}, Pˣ, u, z) and writes
+  // only its own pre-allocated slot, so the fan-out needs no atomics and
+  // the per-mode results are bit-identical to the serial loop.
+  pool_->parallel_for(modes_.size(), [&](std::size_t m) {
+    out.per_mode[m] = estimators_[m].step(state_, state_cov_, u_prev, z_full);
+  });
+
+  // Serial reduction after the join: log-weights log(μ_m,k−1 · N_m,k) in
+  // fixed mode order, so the floating-point accumulation below never
+  // depends on scheduling.
   std::vector<double> log_w(modes_.size());
   for (std::size_t m = 0; m < modes_.size(); ++m) {
-    out.per_mode.push_back(estimators_[m].step(state_, state_cov_, u_prev,
-                                               z_full));
-    log_w[m] = std::log(weights_[m]) + out.per_mode.back().log_likelihood;
+    log_w[m] = std::log(weights_[m]) + out.per_mode[m].log_likelihood;
   }
 
   // Normalize in the log domain, then apply the ε floor and renormalize so

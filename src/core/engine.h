@@ -8,8 +8,10 @@
 // every NUISE call.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/nuise.h"
 
 namespace roboads::core {
@@ -28,6 +30,15 @@ struct EngineConfig {
   // mission length for sensors of comparable quality while still allowing
   // recovery when conditions genuinely change.
   double likelihood_floor = 1e-9;
+
+  // Concurrency of the per-mode NUISE fan-out (Algorithm 1, lines 4-9):
+  // every mode starts from the same shared x̂_{k−1|k−1}, so the M estimator
+  // steps are independent and run on a fixed-size pool. 1 = the exact
+  // legacy serial path (no threads spawned), 0 = hardware concurrency,
+  // n = n-way. Outputs are bit-identical for every setting: each mode's
+  // arithmetic is untouched and the weight/selection reduction stays serial
+  // after the join (see docs/CONCURRENCY.md).
+  std::size_t num_threads = 1;
 };
 
 struct EngineResult {
@@ -58,10 +69,14 @@ class MultiModeEngine {
   // Resets the shared estimate and uniform weights (e.g. for a new mission).
   void reset(const Vector& x0, const Matrix& p0);
 
+  // Pool size actually in use (after resolving num_threads = 0).
+  std::size_t thread_count() const { return pool_->size(); }
+
  private:
   std::vector<Mode> modes_;
   std::vector<Nuise> estimators_;
   EngineConfig config_;
+  std::unique_ptr<common::ThreadPool> pool_;
   Vector state_;
   Matrix state_cov_;
   std::vector<double> weights_;  // normalized

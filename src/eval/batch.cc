@@ -1,0 +1,33 @@
+#include "eval/batch.h"
+
+namespace roboads::eval {
+
+MissionJob make_mission_job(std::function<attacks::Scenario()> make_scenario,
+                            std::uint64_t seed, std::size_t iterations) {
+  MissionJob job;
+  job.make_scenario = std::move(make_scenario);
+  job.config.seed = seed;
+  job.config.iterations = iterations;
+  return job;
+}
+
+std::vector<MissionJobResult> run_mission_batch(
+    const Platform& platform, const std::vector<MissionJob>& jobs,
+    const sim::WorkflowConfig& config) {
+  for (const MissionJob& job : jobs) {
+    ROBOADS_CHECK(job.make_scenario != nullptr,
+                  "mission job needs a scenario factory");
+  }
+  std::vector<MissionJobResult> results(jobs.size());
+  sim::ScenarioBatchRunner runner(config);
+  runner.run(jobs.size(), [&](std::size_t i) {
+    const attacks::Scenario scenario = jobs[i].make_scenario();
+    MissionJobResult& out = results[i];
+    out.name = jobs[i].name.empty() ? scenario.name() : jobs[i].name;
+    out.result = run_mission(platform, scenario, jobs[i].config);
+    out.score = score_mission(out.result, platform);
+  });
+  return results;
+}
+
+}  // namespace roboads::eval

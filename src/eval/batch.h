@@ -1,0 +1,50 @@
+// Batched mission execution: runs independent (scenario, seed) missions
+// concurrently and scores them, preserving job order in the output.
+//
+// This is the parallel substrate behind the Table II / Table IV benches and
+// any seed×scenario sweep: every job owns a fresh Scenario (the factory is
+// invoked inside the worker, so stateful injectors are never shared), its
+// own Rng stream seeded from MissionConfig::seed, and its own simulator and
+// detector. Results land in pre-allocated slots indexed by job, so the
+// output — and every number printed from it — is identical for any
+// WorkflowConfig::num_threads.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/mission.h"
+#include "eval/scoring.h"
+#include "sim/workflow.h"
+
+namespace roboads::eval {
+
+struct MissionJob {
+  // Display label; when empty the scenario's own name is used.
+  std::string name;
+  // Builds the job's private Scenario. Called once, inside the worker —
+  // must be safe to invoke concurrently with other jobs' factories (the
+  // bundled platforms' scenario builders are const and allocate fresh
+  // injectors per call).
+  std::function<attacks::Scenario()> make_scenario;
+  MissionConfig config;
+};
+
+struct MissionJobResult {
+  std::string name;
+  MissionResult result;
+  ScenarioScore score;
+};
+
+// Convenience builder for the common case.
+MissionJob make_mission_job(std::function<attacks::Scenario()> make_scenario,
+                            std::uint64_t seed, std::size_t iterations = 250);
+
+// Runs and scores every job on `platform`. Results are ordered by job
+// index regardless of thread count or completion order.
+std::vector<MissionJobResult> run_mission_batch(
+    const Platform& platform, const std::vector<MissionJob>& jobs,
+    const sim::WorkflowConfig& config = {});
+
+}  // namespace roboads::eval

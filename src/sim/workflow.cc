@@ -77,6 +77,14 @@ Vector LidarSensingWorkflow::sense(std::size_t k, const Vector& x_true,
   return apply_output_injectors(k, std::move(reading));
 }
 
+ScenarioBatchRunner::ScenarioBatchRunner(WorkflowConfig config)
+    : pool_(common::ThreadPool::resolve_thread_count(config.num_threads)) {}
+
+void ScenarioBatchRunner::run(std::size_t count,
+                              const std::function<void(std::size_t)>& task) {
+  pool_.parallel_for(count, task);
+}
+
 void ActuationWorkflow::attach_injector(attacks::InjectorPtr injector) {
   ROBOADS_CHECK(injector != nullptr, "null injector");
   injectors_.push_back(std::move(injector));

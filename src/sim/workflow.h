@@ -8,12 +8,14 @@
 // touches another.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "attacks/injector.h"
+#include "common/thread_pool.h"
 #include "random/rng.h"
 #include "sensors/sensor_model.h"
 #include "sim/lidar.h"
@@ -94,6 +96,38 @@ class LidarSensingWorkflow final : public SensingWorkflow {
   Vector initial_pose_;
   Vector hint_pose_;  // the workflow's private track
   std::optional<GaussianSampler> output_noise_;
+};
+
+// Batched workflow execution.
+//
+// The evaluation sweeps behind Table II / Table IV run many missions that
+// share nothing mutable: each (scenario, seed) task owns its own workflows,
+// injectors, simulator, and Rng stream, so the batch is embarrassingly
+// parallel. WorkflowConfig sizes the pool; ScenarioBatchRunner distributes
+// index-addressed tasks over it. Tasks must write results only into their
+// own pre-allocated slot — with the reduction done serially afterwards the
+// batch output is identical for every thread count.
+struct WorkflowConfig {
+  // 0 = hardware concurrency, 1 = serial (no threads spawned), n = n-way.
+  std::size_t num_threads = 0;
+};
+
+class ScenarioBatchRunner {
+ public:
+  explicit ScenarioBatchRunner(WorkflowConfig config = {});
+
+  // Concurrency actually in use (num_threads = 0 resolved).
+  std::size_t worker_count() const { return pool_.size(); }
+
+  // Runs task(i) exactly once for each i in [0, count) across the pool and
+  // blocks until all are done. Rethrows the lowest failing task's
+  // exception. Each task must build its own Scenario (injectors are
+  // stateful and shared per Scenario instance — never share one across
+  // concurrent tasks) and seed its own Rng.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  common::ThreadPool pool_;
 };
 
 // The actuation workflow: planned commands in, executed commands out.

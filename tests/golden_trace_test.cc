@@ -1,0 +1,135 @@
+// Golden-trace regression: a seeded Fig.-6/Scenario-8 Khepera mission is
+// serialized through the trace I/O layer and compared field-by-field
+// against a checked-in CSV, with per-field-class tolerances. Any refactor
+// of the NUISE/engine numerics that shifts the outputs beyond formatting
+// noise fails here loudly instead of silently bending the paper's figures.
+//
+// Regenerate after an *intentional* numeric change with:
+//   GOLDEN_REGEN=1 ./build/tests/golden_trace_test
+// and review the diff of tests/data/golden_scenario8.csv like code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/khepera.h"
+#include "eval/mission.h"
+#include "eval/trace_io.h"
+
+namespace roboads::eval {
+namespace {
+
+#ifndef ROBOADS_GOLDEN_DIR
+#error "ROBOADS_GOLDEN_DIR must point at tests/data"
+#endif
+
+const char* golden_path() {
+  return ROBOADS_GOLDEN_DIR "/golden_scenario8.csv";
+}
+
+// The recorded run: scenario #8 (IPS logic bomb ~4 s + wheel-controller
+// logic bomb ~10 s), seed 88, 20 s — exactly the Fig. 6 reproduction.
+std::string current_trace() {
+  KheperaPlatform platform;
+  MissionConfig cfg;
+  cfg.iterations = 200;
+  cfg.seed = 88;
+  const MissionResult mission =
+      run_mission(platform, platform.table2_scenario(8), cfg);
+  std::ostringstream os;
+  write_trace_csv(os, mission, platform);
+  return os.str();
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+// Per-field tolerance classes, keyed on the header name. Integer-valued
+// fields (mode indices, alarm flags, ground-truth masks) must match
+// exactly; χ² statistics amplify estimate shifts, so they get the loosest
+// band; everything else (states, commands, anomaly estimates) sits at the
+// trace's own formatting resolution.
+struct Tolerance {
+  double abs = 0.0;
+  double rel = 0.0;
+};
+
+Tolerance tolerance_for(const std::string& column) {
+  auto has_prefix = [&](const char* p) { return column.rfind(p, 0) == 0; };
+  if (column == "selected_mode" || column == "sensor_alarm" ||
+      column == "act_alarm" || column == "truth_sensors" ||
+      column == "truth_actuator" || column == "collided" || column == "t") {
+    return {0.0, 0.0};
+  }
+  if (column == "sensor_stat" || column == "act_stat") {
+    return {1e-3, 1e-3};
+  }
+  if (column == "sensor_thresh" || column == "act_thresh") {
+    return {1e-9, 1e-9};
+  }
+  // x_true_*, u_planned_*, u_executed_*, x_hat_*, ds_*, da_*.
+  (void)has_prefix;
+  return {2e-5, 1e-3};
+}
+
+TEST(GoldenTrace, Scenario8MatchesCheckedInGolden) {
+  const std::string current = current_trace();
+
+  if (std::getenv("GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << current;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream golden_file(golden_path());
+  ASSERT_TRUE(golden_file.good())
+      << "missing golden file " << golden_path()
+      << " — run with GOLDEN_REGEN=1 to create it";
+
+  std::istringstream current_stream(current);
+  std::string golden_line, current_line;
+
+  // Header must match exactly: a column-layout change is a breaking change
+  // to the trace format, not numeric drift.
+  ASSERT_TRUE(std::getline(golden_file, golden_line));
+  ASSERT_TRUE(std::getline(current_stream, current_line));
+  ASSERT_EQ(golden_line, current_line) << "trace column layout changed";
+  const std::vector<std::string> columns = split_csv(golden_line);
+
+  std::size_t row = 1;
+  while (std::getline(golden_file, golden_line)) {
+    ASSERT_TRUE(std::getline(current_stream, current_line))
+        << "trace truncated at row " << row;
+    const std::vector<std::string> golden = split_csv(golden_line);
+    const std::vector<std::string> got = split_csv(current_line);
+    ASSERT_EQ(golden.size(), columns.size()) << "malformed golden row " << row;
+    ASSERT_EQ(got.size(), columns.size()) << "malformed trace row " << row;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const Tolerance tol = tolerance_for(columns[c]);
+      const double want = std::stod(golden[c]);
+      const double have = std::stod(got[c]);
+      const double bound =
+          tol.abs + tol.rel * std::max(std::abs(want), std::abs(have));
+      EXPECT_LE(std::abs(have - want), bound)
+          << "row " << row << " column '" << columns[c] << "': golden "
+          << golden[c] << " vs current " << got[c];
+    }
+    ++row;
+  }
+  EXPECT_FALSE(std::getline(current_stream, current_line))
+      << "trace grew past the golden file at row " << row;
+  EXPECT_GE(row, 150u) << "golden mission ended suspiciously early";
+}
+
+}  // namespace
+}  // namespace roboads::eval

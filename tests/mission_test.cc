@@ -2,6 +2,7 @@
 // injection → RoboADS detection → paper-style scoring, on both platforms.
 #include <gtest/gtest.h>
 
+#include "eval/batch.h"
 #include "eval/khepera.h"
 #include "eval/mission.h"
 #include "eval/scoring.h"
@@ -139,6 +140,41 @@ TEST(KheperaMission, DeterministicPerSeed) {
     EXPECT_EQ(a.records[i].x_true, b.records[i].x_true);
     EXPECT_EQ(a.records[i].report.selected_mode,
               b.records[i].report.selected_mode);
+  }
+}
+
+// The batched runner must hand back, in job order, exactly what serial
+// run_mission calls produce — concurrency changes wall-clock only.
+TEST(KheperaMission, BatchRunnerMatchesSerialRuns) {
+  KheperaPlatform platform;
+  const std::vector<std::size_t> scenarios = {4, 6, 1};
+  std::vector<MissionJob> jobs;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::size_t n = scenarios[i];
+    jobs.push_back(make_mission_job(
+        [&platform, n] { return platform.table2_scenario(n); }, 300 + i,
+        120));
+  }
+  sim::WorkflowConfig workflow_config;
+  workflow_config.num_threads = 4;
+  const std::vector<MissionJobResult> batch =
+      run_mission_batch(platform, jobs, workflow_config);
+
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const MissionResult serial = run_mission(
+        platform, platform.table2_scenario(scenarios[i]), jobs[i].config);
+    EXPECT_EQ(batch[i].name, platform.table2_scenario(scenarios[i]).name());
+    ASSERT_EQ(batch[i].result.records.size(), serial.records.size());
+    for (std::size_t k = 0; k < serial.records.size(); ++k) {
+      EXPECT_EQ(batch[i].result.records[k].x_true, serial.records[k].x_true);
+      EXPECT_EQ(batch[i].result.records[k].report.state_estimate,
+                serial.records[k].report.state_estimate);
+      EXPECT_EQ(batch[i].result.records[k].report.selected_mode,
+                serial.records[k].report.selected_mode);
+    }
+    EXPECT_EQ(batch[i].result.goal_reached, serial.goal_reached);
   }
 }
 

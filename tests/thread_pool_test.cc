@@ -1,0 +1,130 @@
+// ThreadPool semantics: index-addressed result slots, exception
+// propagation, reuse across batches, and stress with tasks ≫ workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace roboads::common {
+namespace {
+
+TEST(ThreadPool, ResultsLandInIndexOrderedSlots) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::size_t> slots(100, 0);
+  pool.parallel_for(slots.size(),
+                    [&](std::size_t i) { slots[i] = i * i; });
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(8);
+  std::vector<std::size_t> order;
+  pool.parallel_for(ran_on.size(), [&](std::size_t i) {
+    ran_on[i] = std::this_thread::get_id();
+    order.push_back(i);  // safe: serial path, no data race
+  });
+  for (const std::thread::id& id : ran_on) EXPECT_EQ(id, caller);
+  // The serial path preserves the legacy loop's index order exactly.
+  std::vector<std::size_t> expected(order.size());
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ++executed;
+      if (i == 37) throw std::runtime_error("task 37 failed");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 37 failed");
+  }
+  // A failure never cancels the other indices: the executed set is the full
+  // batch, independent of scheduling.
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPool, LowestFailingIndexWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(100, [&](std::size_t i) {
+        if (i % 10 == 3) throw std::out_of_range(std::to_string(i));
+      });
+      FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::out_of_range& e) {
+      EXPECT_STREQ(e.what(), "3");  // i = 3, not 13/23/…
+    }
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::vector<double> acc(32, 0.0);
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(acc.size(), [&](std::size_t i) { acc[i] += 1.0; });
+  }
+  for (double v : acc) EXPECT_EQ(v, 50.0);
+}
+
+TEST(ThreadPool, UsableAfterAnExceptionBatch) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(8, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 28u);
+}
+
+TEST(ThreadPool, StressTasksFarExceedWorkers) {
+  ThreadPool pool(3);
+  constexpr std::size_t kTasks = 20000;
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), std::uint64_t{kTasks} * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(7), 7u);
+}
+
+TEST(ThreadPool, RejectsZeroSize) {
+  EXPECT_THROW(ThreadPool pool(0), CheckError);
+}
+
+}  // namespace
+}  // namespace roboads::common
