@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: build + ctest once normally, then once under
 # ThreadSanitizer (RoboADS_SANITIZE=thread) so data races in the parallel
-# engine fan-out and the batched scenario runner fail the pipeline, not a
-# user. Usage:
+# engine fan-out and the batched scenario runner fail the pipeline, and once
+# under UndefinedBehaviorSanitizer (RoboADS_SANITIZE=undefined) to catch UB
+# in the numerics. Usage:
 #
-#   ./ci.sh            # both passes
+#   ./ci.sh            # all passes
 #   ./ci.sh normal     # plain build + ctest only
 #   ./ci.sh tsan       # TSan build + ctest only
+#   ./ci.sh ubsan      # UBSan build + ctest only
 #
 # JOBS=<n> overrides the parallelism (default: nproc).
 set -euo pipefail
@@ -25,11 +27,13 @@ run_pass() {
 case "$MODE" in
   normal) run_pass build ;;
   tsan)   run_pass build-tsan -DRoboADS_SANITIZE=thread ;;
+  ubsan)  run_pass build-ubsan -DRoboADS_SANITIZE=undefined ;;
   all)
     run_pass build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
+    run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

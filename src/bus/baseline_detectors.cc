@@ -12,28 +12,28 @@ std::vector<BaselineAlarm> TimingMonitor::analyze(const BusLog& log) const {
     log_end = std::max(log_end, p.arrival_time);
   }
   for (const std::string& source : log.sources()) {
-    const std::vector<const Packet*> packets = log.from(source);
+    const std::vector<Packet> packets = log.from(source);
     const double lo =
         config_.nominal_period * (1.0 - config_.jitter_tolerance);
     const double hi =
         config_.nominal_period * (1.0 + config_.jitter_tolerance);
     for (std::size_t i = 1; i < packets.size(); ++i) {
       const double gap =
-          packets[i]->arrival_time - packets[i - 1]->arrival_time;
+          packets[i].arrival_time - packets[i - 1].arrival_time;
       if (gap < lo) {
-        alarms.push_back({source, packets[i]->iteration,
+        alarms.push_back({source, packets[i].iteration,
                           "inter-arrival gap too short (injected packet?)"});
       } else if (gap > hi) {
-        alarms.push_back({source, packets[i]->iteration,
+        alarms.push_back({source, packets[i].iteration,
                           "inter-arrival gap too long (missing packet?)"});
       }
     }
     // Silence detection: a source that stops transmitting produces no more
     // gaps at all — raise one alarm per missed period until the log ends.
-    const double last = packets.back()->arrival_time;
+    const double last = packets.back().arrival_time;
     for (double t = last + hi; t < log_end;
          t += config_.nominal_period) {
-      alarms.push_back({source, packets.back()->iteration,
+      alarms.push_back({source, packets.back().iteration,
                         "source silent past its deadline"});
     }
   }
@@ -64,24 +64,24 @@ std::vector<BaselineAlarm> FingerprintMonitor::analyze(
 void ContentEnvelopeMonitor::train(const BusLog& clean_log) {
   envelopes_.clear();
   for (const std::string& source : clean_log.sources()) {
-    const std::vector<const Packet*> packets = clean_log.from(source);
+    const std::vector<Packet> packets = clean_log.from(source);
     if (packets.empty()) continue;
-    const std::size_t dim = packets.front()->payload.size();
+    const std::size_t dim = packets.front().payload.size();
     Envelope env;
-    env.min_value = packets.front()->payload;
-    env.max_value = packets.front()->payload;
+    env.min_value = packets.front().payload;
+    env.max_value = packets.front().payload;
     env.max_abs_delta = Vector(dim);
     for (std::size_t i = 0; i < packets.size(); ++i) {
-      ROBOADS_CHECK_EQ(packets[i]->payload.size(), dim,
+      ROBOADS_CHECK_EQ(packets[i].payload.size(), dim,
                        "inconsistent payload size in training log");
       for (std::size_t j = 0; j < dim; ++j) {
-        env.min_value[j] = std::min(env.min_value[j], packets[i]->payload[j]);
-        env.max_value[j] = std::max(env.max_value[j], packets[i]->payload[j]);
+        env.min_value[j] = std::min(env.min_value[j], packets[i].payload[j]);
+        env.max_value[j] = std::max(env.max_value[j], packets[i].payload[j]);
         if (i > 0) {
           env.max_abs_delta[j] =
               std::max(env.max_abs_delta[j],
-                       std::abs(packets[i]->payload[j] -
-                                packets[i - 1]->payload[j]));
+                       std::abs(packets[i].payload[j] -
+                                packets[i - 1].payload[j]));
         }
       }
     }
@@ -97,24 +97,24 @@ std::vector<BaselineAlarm> ContentEnvelopeMonitor::analyze(
     const auto it = envelopes_.find(source);
     if (it == envelopes_.end()) continue;  // never trained on this source
     const Envelope& env = it->second;
-    const std::vector<const Packet*> packets = log.from(source);
+    const std::vector<Packet> packets = log.from(source);
     for (std::size_t i = 0; i < packets.size(); ++i) {
-      const Vector& v = packets[i]->payload;
+      const Vector& v = packets[i].payload;
       if (v.size() != env.min_value.size()) continue;
       for (std::size_t j = 0; j < v.size(); ++j) {
         const double span = env.max_value[j] - env.min_value[j];
         const double slack = (config_.margin - 1.0) * std::max(span, 1e-6);
         if (v[j] < env.min_value[j] - slack ||
             v[j] > env.max_value[j] + slack) {
-          alarms.push_back({source, packets[i]->iteration,
+          alarms.push_back({source, packets[i].iteration,
                             "value outside learned range"});
           break;
         }
         if (i > 0) {
           const double delta =
-              std::abs(v[j] - packets[i - 1]->payload[j]);
+              std::abs(v[j] - packets[i - 1].payload[j]);
           if (delta > config_.margin * std::max(env.max_abs_delta[j], 1e-6)) {
-            alarms.push_back({source, packets[i]->iteration,
+            alarms.push_back({source, packets[i].iteration,
                               "rate of change outside learned envelope"});
             break;
           }

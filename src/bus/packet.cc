@@ -16,10 +16,10 @@ void BusLog::record(Packet packet) {
   packets_.insert(it, std::move(packet));
 }
 
-std::vector<const Packet*> BusLog::from(const std::string& source) const {
-  std::vector<const Packet*> out;
+std::vector<Packet> BusLog::from(const std::string& source) const {
+  std::vector<Packet> out;
   for (const Packet& p : packets_) {
-    if (p.source == source) out.push_back(&p);
+    if (p.source == source) out.push_back(p);
   }
   return out;
 }

@@ -33,8 +33,11 @@ class BusLog {
   void record(Packet packet);
 
   const std::vector<Packet>& packets() const { return packets_; }
-  // Packets from one source, in arrival order.
-  std::vector<const Packet*> from(const std::string& source) const;
+  // Packets from one source, in arrival order. Returns copies: the log's
+  // backing storage reallocates (and shifts, for late arrivals) on the next
+  // record(), so handing out pointers into it would dangle the moment the
+  // caller keeps recording.
+  std::vector<Packet> from(const std::string& source) const;
   // All distinct sources seen.
   std::vector<std::string> sources() const;
 

@@ -68,9 +68,13 @@ Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
   // The per-sensor χ² outcome is tracked every iteration through the same
   // sliding-window mechanism as the aggregate test, so that the attributed
   // sensor set is as debounced as the alarm itself; a sensor is *confirmed*
-  // only while the aggregate alarm holds.
+  // only while the aggregate alarm holds. On a degraded step (sensor
+  // outage, sim/faults.h) only the testing sensors actually stacked into
+  // d̂ˢ are attributed — unavailable sensors carry no fresh evidence.
+  const std::vector<std::size_t>& testing = active_testing_of(mode, result);
+  std::vector<bool> tested(suite_.count(), false);
   std::size_t at = 0;
-  for (std::size_t t : mode.testing) {
+  for (std::size_t t : testing) {
     const std::size_t dim = suite_.sensor(t).dim();
     SensorVerdict v;
     v.sensor_index = t;
@@ -84,12 +88,16 @@ Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
     v.misbehaving = d.sensor_alarm && windowed;
     if (v.misbehaving) d.misbehaving_sensors.push_back(t);
     d.sensor_verdicts.push_back(std::move(v));
+    tested[t] = true;
     at += dim;
   }
-  // Reference sensors carry no fresh test this iteration, but their windows
-  // must age so stale positives from before a mode switch decay.
-  for (std::size_t r : mode.reference) {
-    window_met(per_sensor_history_[r], false, config_.sensor_window);
+  // Sensors without a fresh test this iteration — the mode's reference
+  // group and any unavailable testing sensor — still age their windows so
+  // stale positives from before a mode switch (or an outage) decay.
+  for (std::size_t s = 0; s < suite_.count(); ++s) {
+    if (!tested[s]) {
+      window_met(per_sensor_history_[s], false, config_.sensor_window);
+    }
   }
 
   return d;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace roboads::core {
 
@@ -10,7 +11,7 @@ MultiModeEngine::MultiModeEngine(const dyn::DynamicModel& model,
                                  std::vector<Mode> modes,
                                  const Matrix& process_cov, const Vector& x0,
                                  const Matrix& p0, EngineConfig config)
-    : modes_(std::move(modes)), config_(config) {
+    : suite_(&suite), modes_(std::move(modes)), config_(config) {
   validate_modes(modes_, suite);
   ROBOADS_CHECK(config_.likelihood_floor > 0.0 &&
                     config_.likelihood_floor < 1.0 / modes_.size(),
@@ -32,44 +33,142 @@ void MultiModeEngine::reset(const Vector& x0, const Matrix& p0) {
   state_ = x0;
   state_cov_ = p0;
   weights_.assign(modes_.size(), 1.0 / static_cast<double>(modes_.size()));
+  health_.assign(modes_.size(), ModeHealth{});
 }
 
 EngineResult MultiModeEngine::step(const Vector& u_prev,
                                    const Vector& z_full) {
+  return step_impl(u_prev, z_full, nullptr);
+}
+
+EngineResult MultiModeEngine::step(const Vector& u_prev, const Vector& z_full,
+                                   const SensorMask& available) {
+  if (available.empty()) return step_impl(u_prev, z_full, nullptr);
+  const bool all_available =
+      std::all_of(available.begin(), available.end(), [](bool b) { return b; });
+  // The all-available masked step is exactly the unmasked step.
+  return step_impl(u_prev, z_full, all_available ? nullptr : &available);
+}
+
+EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
+                                        const Vector& z_full,
+                                        const SensorMask* available) {
+  const std::size_t m_count = modes_.size();
   EngineResult out;
-  out.per_mode.resize(modes_.size());
+  out.per_mode.resize(m_count);
 
   // Run every mode's NUISE from the shared previous estimate. Each task
   // reads only shared immutable state (x̂_{k−1|k−1}, Pˣ, u, z) and writes
   // only its own pre-allocated slot, so the fan-out needs no atomics and
-  // the per-mode results are bit-identical to the serial loop.
-  pool_->parallel_for(modes_.size(), [&](std::size_t m) {
-    out.per_mode[m] = estimators_[m].step(state_, state_cov_, u_prev, z_full);
+  // the per-mode results are bit-identical to the serial loop. Quarantined
+  // modes are stepped too: estimators are stateless (the shared estimate is
+  // threaded in each iteration), so a clean result here is exactly the
+  // evidence the supervisor needs to reinstate the mode.
+  pool_->parallel_for(m_count, [&](std::size_t m) {
+    out.per_mode[m] =
+        available != nullptr
+            ? estimators_[m].step(state_, state_cov_, u_prev, z_full,
+                                  *available)
+            : estimators_[m].step(state_, state_cov_, u_prev, z_full);
   });
+
+  // --- Health supervision (serial, after the join). ---
+  const bool supervise = config_.health.enabled;
+  std::vector<bool> quarantined(m_count, false);
+  if (supervise) {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      const SupervisionOutcome outcome = supervise_result(
+          out.per_mode[m], modes_[m], *suite_, config_.health);
+      if (outcome.fatal) {
+        health_[m].on_fatal(config_.health);
+      } else if (outcome.repaired) {
+        health_[m].on_repaired(config_.health);
+      } else {
+        health_[m].on_clean(config_.health);
+      }
+      // A mode still serving its quarantine cooldown stays excluded even
+      // when its current result is clean.
+      quarantined[m] = health_[m].quarantined();
+    }
+  }
+  std::size_t active_count = 0;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (!quarantined[m]) ++active_count;
+  }
+
+  // Containment floor: every mode failed supervision at once (e.g. all
+  // readings non-finite). Keep the last good shared estimate, reset the
+  // weights, give every mode a fresh start next iteration — the engine
+  // stays alive instead of throwing.
+  if (active_count == 0) {
+    weights_.assign(m_count, 1.0 / static_cast<double>(m_count));
+    for (ModeHealth& h : health_) {
+      h.state = ModeHealthState::kDegraded;
+      h.clean_streak = 0;
+    }
+    out.mode_weights = weights_;
+    out.selected_mode = 0;
+    out.fallback_previous_estimate = true;
+    out.mode_health.assign(m_count, ModeHealthState::kDegraded);
+    out.quarantined_modes = 0;
+    return out;
+  }
+
+  // Neutral likelihood substitute for modes whose step carried no
+  // information (prediction-only under a sensor outage): the mean
+  // informative log-likelihood keeps their weight ratio to the rest of the
+  // bank unchanged through normalization.
+  double informative_sum = 0.0;
+  std::size_t informative_count = 0;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (quarantined[m] || !out.per_mode[m].likelihood_informative) continue;
+    informative_sum += out.per_mode[m].log_likelihood;
+    ++informative_count;
+  }
+  const double neutral_ll =
+      informative_count > 0
+          ? informative_sum / static_cast<double>(informative_count)
+          : 0.0;
 
   // Serial reduction after the join: log-weights log(μ_m,k−1 · N_m,k) in
   // fixed mode order, so the floating-point accumulation below never
   // depends on scheduling.
-  std::vector<double> log_w(modes_.size());
-  for (std::size_t m = 0; m < modes_.size(); ++m) {
-    log_w[m] = std::log(weights_[m]) + out.per_mode[m].log_likelihood;
+  std::vector<double> log_w(m_count,
+                            -std::numeric_limits<double>::infinity());
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (quarantined[m]) continue;
+    const double ll = out.per_mode[m].likelihood_informative
+                          ? out.per_mode[m].log_likelihood
+                          : neutral_ll;
+    log_w[m] = std::log(weights_[m]) + ll;
   }
 
   // Normalize in the log domain, then apply the ε floor and renormalize so
-  // no hypothesis is ever irrecoverably ruled out.
-  const double max_lw = *std::max_element(log_w.begin(), log_w.end());
+  // no hypothesis is ever irrecoverably ruled out. Quarantined modes carry
+  // weight 0 until the supervisor reinstates them (at which point the floor
+  // lifts them back into the bank).
+  double max_lw = -std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (!quarantined[m]) max_lw = std::max(max_lw, log_w[m]);
+  }
   double sum = 0.0;
-  for (double& lw : log_w) {
-    lw = std::isfinite(max_lw) ? std::exp(lw - max_lw) : 1.0;
-    sum += lw;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (quarantined[m]) {
+      log_w[m] = 0.0;
+      continue;
+    }
+    log_w[m] = std::isfinite(max_lw) ? std::exp(log_w[m] - max_lw) : 1.0;
+    sum += log_w[m];
   }
   ROBOADS_CHECK(sum > 0.0, "all mode likelihoods vanished");
   double floored_sum = 0.0;
-  for (double& w : log_w) {
-    w = std::max(w / sum, config_.likelihood_floor);
-    floored_sum += w;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (!quarantined[m]) {
+      log_w[m] = std::max(log_w[m] / sum, config_.likelihood_floor);
+    }
+    floored_sum += log_w[m];
   }
-  for (std::size_t m = 0; m < modes_.size(); ++m) {
+  for (std::size_t m = 0; m < m_count; ++m) {
     weights_[m] = log_w[m] / floored_sum;
   }
 
@@ -81,6 +180,13 @@ EngineResult MultiModeEngine::step(const Vector& u_prev,
   // (Algorithm 1, line 9).
   state_ = out.per_mode[out.selected_mode].state;
   state_cov_ = out.per_mode[out.selected_mode].state_cov;
+
+  out.mode_health.resize(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    out.mode_health[m] =
+        supervise ? health_[m].state : ModeHealthState::kHealthy;
+    if (quarantined[m]) ++out.quarantined_modes;
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/health.h"
 #include "core/nuise.h"
 
 namespace roboads::core {
@@ -39,6 +40,13 @@ struct EngineConfig {
   // arithmetic is untouched and the weight/selection reduction stays serial
   // after the join (see docs/CONCURRENCY.md).
   std::size_t num_threads = 1;
+
+  // Numerical health supervision (core/health.h): finite/PSD checks after
+  // each mode update, covariance repair for mild drift, and quarantine of
+  // diverged modes. Enabled by default — the checks are pure reads on
+  // healthy results, so supervised output is bit-identical to the
+  // unsupervised engine whenever nothing actually fails.
+  HealthConfig health;
 };
 
 struct EngineResult {
@@ -46,6 +54,15 @@ struct EngineResult {
   std::vector<double> mode_weights;       // normalized μ_m,k
   std::vector<NuiseResult> per_mode;      // one entry per mode
   const NuiseResult& selected() const { return per_mode[selected_mode]; }
+
+  // Health snapshot after this iteration's supervision (one entry per
+  // mode). Quarantined modes carry weight 0 and are never selected.
+  std::vector<ModeHealthState> mode_health;
+  std::size_t quarantined_modes = 0;
+  // True when every mode failed supervision this iteration: the engine kept
+  // the previous shared estimate, reset the weights to uniform, and
+  // reinstated all modes for the next step.
+  bool fallback_previous_estimate = false;
 };
 
 class MultiModeEngine {
@@ -66,13 +83,28 @@ class MultiModeEngine {
   // state estimate.
   EngineResult step(const Vector& u_prev, const Vector& z_full);
 
-  // Resets the shared estimate and uniform weights (e.g. for a new mission).
+  // Degraded-mode iteration under a per-sensor availability mask (empty =
+  // all available; see sim/faults.h). Modes whose reference group is
+  // unavailable run prediction-only and participate neutrally in the weight
+  // update; missing testing sensors are excluded from each mode's d̂ˢ.
+  EngineResult step(const Vector& u_prev, const Vector& z_full,
+                    const SensorMask& available);
+
+  // Resets the shared estimate, uniform weights, and mode health (e.g. for
+  // a new mission).
   void reset(const Vector& x0, const Matrix& p0);
 
   // Pool size actually in use (after resolving num_threads = 0).
   std::size_t thread_count() const { return pool_->size(); }
 
+  // Health of each mode after the most recent step.
+  const std::vector<ModeHealth>& mode_health() const { return health_; }
+
  private:
+  EngineResult step_impl(const Vector& u_prev, const Vector& z_full,
+                         const SensorMask* available);
+
+  const sensors::SensorSuite* suite_;  // for health supervision block layout
   std::vector<Mode> modes_;
   std::vector<Nuise> estimators_;
   EngineConfig config_;
@@ -80,6 +112,7 @@ class MultiModeEngine {
   Vector state_;
   Matrix state_cov_;
   std::vector<double> weights_;  // normalized
+  std::vector<ModeHealth> health_;
 };
 
 }  // namespace roboads::core

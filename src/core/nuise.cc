@@ -27,15 +27,97 @@ Nuise::Nuise(const dyn::DynamicModel& model,
 
 NuiseResult Nuise::step(const Vector& x_prev, const Matrix& p_prev,
                         const Vector& u_prev, const Vector& z_full) const {
+  return step_subsets(mode_.reference, mode_.testing, x_prev, p_prev, u_prev,
+                      z_full);
+}
+
+NuiseResult Nuise::step(const Vector& x_prev, const Matrix& p_prev,
+                        const Vector& u_prev, const Vector& z_full,
+                        const SensorMask& available) const {
+  if (available.empty()) return step(x_prev, p_prev, u_prev, z_full);
+  ROBOADS_CHECK_EQ(available.size(), suite_.count(),
+                   "availability mask size mismatch");
+
+  auto filter = [&](const std::vector<std::size_t>& set) {
+    std::vector<std::size_t> kept;
+    kept.reserve(set.size());
+    for (std::size_t i : set) {
+      if (available[i]) kept.push_back(i);
+    }
+    return kept;
+  };
+  const std::vector<std::size_t> ref = filter(mode_.reference);
+  const std::vector<std::size_t> tst = filter(mode_.testing);
+
+  if (ref.size() == mode_.reference.size() &&
+      tst.size() == mode_.testing.size()) {
+    // Every sensor of this mode arrived: the exact full step.
+    return step(x_prev, p_prev, u_prev, z_full);
+  }
+  if (ref.empty()) {
+    return predict_only(tst, x_prev, p_prev, u_prev, z_full);
+  }
+  NuiseResult out = step_subsets(ref, tst, x_prev, p_prev, u_prev, z_full);
+  out.degraded = true;
+  out.active_testing = tst;
+  return out;
+}
+
+NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
+                                const Vector& x_prev, const Matrix& p_prev,
+                                const Vector& u_prev,
+                                const Vector& z_full) const {
+  const std::size_t q = model_.input_dim();
+  ROBOADS_CHECK_EQ(x_prev.size(), model_.state_dim(),
+                   "previous state size mismatch");
+  ROBOADS_CHECK_EQ(u_prev.size(), q, "control size mismatch");
+
+  NuiseResult out;
+  out.correction_applied = false;
+  out.likelihood_informative = false;
+  out.degraded = true;
+  out.active_testing = tst;
+
+  // Propagate through the kinematics with the planned (uncompensated)
+  // input: with no reference readings there is no innovation to estimate
+  // d̂ᵃ from, so the best available state is the open-loop prediction.
+  const Matrix a = model_.jacobian_state(x_prev, u_prev);
+  out.state = model_.step(x_prev, u_prev);
+  out.state_cov =
+      (a * p_prev * a.transpose() + process_cov_).symmetrized();
+
+  // No information about the actuator this iteration: a zero estimate with
+  // identity covariance makes the decision maker's χ² statistic exactly 0.
+  out.actuator_anomaly = Vector(q);
+  out.actuator_anomaly_cov = Matrix::identity(q);
+  out.actuator_identifiable = false;
+
+  // Testing sensors that did arrive are still screened against the
+  // prediction; the wider Pˣ of the open-loop step is accounted for in the
+  // anomaly covariance.
+  if (!tst.empty()) {
+    const Vector z1 = suite_.slice(tst, z_full);
+    out.sensor_anomaly = suite_.residual(tst, z1, out.state);
+    const Matrix c1 = suite_.jacobian(tst, out.state);
+    const Matrix r1 = suite_.noise_covariance(tst);
+    out.sensor_anomaly_cov =
+        (c1 * out.state_cov * c1.transpose() + r1).symmetrized();
+  }
+  out.log_likelihood = 0.0;  // placeholder; flagged uninformative
+  return out;
+}
+
+NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
+                                const std::vector<std::size_t>& tst,
+                                const Vector& x_prev, const Matrix& p_prev,
+                                const Vector& u_prev,
+                                const Vector& z_full) const {
   const std::size_t n = model_.state_dim();
   const std::size_t q = model_.input_dim();
   ROBOADS_CHECK_EQ(x_prev.size(), n, "previous state size mismatch");
   ROBOADS_CHECK(p_prev.rows() == n && p_prev.cols() == n,
                 "previous covariance shape mismatch");
   ROBOADS_CHECK_EQ(u_prev.size(), q, "control size mismatch");
-
-  const auto& ref = mode_.reference;
-  const auto& tst = mode_.testing;
 
   const Matrix a = model_.jacobian_state(x_prev, u_prev);
   const Matrix g = model_.jacobian_input(x_prev, u_prev);

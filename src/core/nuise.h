@@ -29,6 +29,11 @@
 
 namespace roboads::core {
 
+// Per-suite-sensor availability for one iteration: available[i] is true when
+// sensor i's reading arrived on the bus (see sim/faults.h). An empty mask
+// means "all available".
+using SensorMask = std::vector<bool>;
+
 struct NuiseResult {
   Vector state;                  // x̂_{k|k}
   Matrix state_cov;              // Pˣ_k
@@ -43,7 +48,32 @@ struct NuiseResult {
   // False when the reference group cannot distinguish the actuator input
   // (C₂G column-rank deficient); d̂ᵃ is then the minimum-norm estimate.
   bool actuator_identifiable = true;
+
+  // --- Degraded-mode bookkeeping (transport faults, sim/faults.h). ---
+  // False when the mode ran a prediction-only step because its reference
+  // group was entirely unavailable: the state was propagated through the
+  // kinematics, no measurement correction was applied, and d̂ᵃ carries no
+  // information (zeros with identity covariance → χ² statistic 0).
+  bool correction_applied = true;
+  // False when log_likelihood carries no information about this mode's
+  // hypothesis (prediction-only step); the engine's weight update must
+  // treat such modes neutrally instead of reading the 0.0 placeholder.
+  bool likelihood_informative = true;
+  // True when any of the mode's sensors was unavailable this iteration. If
+  // set, `active_testing` lists the testing sensors actually stacked into
+  // sensor_anomaly (suite indices, increasing); when false the stacking is
+  // the mode's full testing set and active_testing is left empty.
+  bool degraded = false;
+  std::vector<std::size_t> active_testing;
 };
+
+// The testing sensors actually represented in `r.sensor_anomaly` — the
+// mode's full testing set on a healthy step, the filtered set on a degraded
+// one. Consumers splitting the stacked d̂ˢ must iterate this list.
+inline const std::vector<std::size_t>& active_testing_of(
+    const Mode& mode, const NuiseResult& r) {
+  return r.degraded ? r.active_testing : mode.testing;
+}
 
 class Nuise {
  public:
@@ -60,7 +90,32 @@ class Nuise {
   NuiseResult step(const Vector& x_prev, const Matrix& p_prev,
                    const Vector& u_prev, const Vector& z_full) const;
 
+  // Degraded-mode iteration under a sensor availability mask (sized
+  // suite.count(); empty = all available). With every sensor of the mode
+  // available this is the exact full step — bit-identical outputs. With
+  // some reference sensors missing the step runs on the remaining reference
+  // subset; with the whole reference group missing it degrades to a
+  // prediction-only step (propagate, skip correction, likelihood flagged
+  // uninformative). Missing testing sensors are excluded from d̂ˢ and
+  // recorded in `active_testing` instead of crashing on a dimension
+  // mismatch.
+  NuiseResult step(const Vector& x_prev, const Matrix& p_prev,
+                   const Vector& u_prev, const Vector& z_full,
+                   const SensorMask& available) const;
+
  private:
+  // The full estimation pass over explicit reference/testing subsets; the
+  // public entry points select the subsets.
+  NuiseResult step_subsets(const std::vector<std::size_t>& ref,
+                           const std::vector<std::size_t>& tst,
+                           const Vector& x_prev, const Matrix& p_prev,
+                           const Vector& u_prev, const Vector& z_full) const;
+
+  // Prediction-only fallback when the reference group is unavailable.
+  NuiseResult predict_only(const std::vector<std::size_t>& tst,
+                           const Vector& x_prev, const Matrix& p_prev,
+                           const Vector& u_prev, const Vector& z_full) const;
+
   const dyn::DynamicModel& model_;
   const sensors::SensorSuite& suite_;
   Mode mode_;

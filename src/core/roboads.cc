@@ -27,9 +27,45 @@ void RoboAds::reset(const Vector& x0, const Matrix& p0) {
 }
 
 DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full) {
-  const EngineResult engine_result = engine_.step(u_prev, z_full);
+  return step(u_prev, z_full, SensorMask{});
+}
+
+DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full,
+                              const SensorMask& available) {
+  // Monitor-side sanitization: a sensor delivering a non-finite value is a
+  // transport/driver fault, not a measurement — mask it out for this
+  // iteration so it cannot poison the estimator bank. Finite readings take
+  // the caller's mask untouched (bit-identical legacy path when empty).
+  SensorMask mask = available;
+  if (!z_full.all_finite()) {
+    if (mask.empty()) mask.assign(suite_.count(), true);
+    for (std::size_t i = 0; i < suite_.count(); ++i) {
+      const Vector block = z_full.segment(suite_.offset(i),
+                                          suite_.sensor(i).dim());
+      if (!block.all_finite()) mask[i] = false;
+    }
+  }
+
+  const EngineResult engine_result = engine_.step(u_prev, z_full, mask);
   const Mode& mode = engine_.modes()[engine_result.selected_mode];
-  const NuiseResult& selected = engine_result.selected();
+
+  // Containment floor: every mode failed supervision this iteration. The
+  // engine kept its last good shared estimate; report that with a neutral
+  // (statistic-0) decision instead of reading the corrupted mode outputs.
+  NuiseResult fallback;
+  if (engine_result.fallback_previous_estimate) {
+    fallback.state = engine_.state();
+    fallback.state_cov = engine_.state_cov();
+    fallback.actuator_anomaly = Vector(u_prev.size());
+    fallback.actuator_anomaly_cov = Matrix::identity(u_prev.size());
+    fallback.correction_applied = false;
+    fallback.likelihood_informative = false;
+    fallback.actuator_identifiable = false;
+    fallback.degraded = true;  // empty active_testing → no attribution
+  }
+  const NuiseResult& selected = engine_result.fallback_previous_estimate
+                                    ? fallback
+                                    : engine_result.selected();
 
   DetectionReport report;
   report.iteration = ++iteration_;
@@ -41,11 +77,15 @@ DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full) {
   report.decision = decision_maker_.evaluate(mode, selected);
   report.selected_result = selected;
   report.actuator_anomaly = selected.actuator_anomaly;
+  report.mode_health = engine_result.mode_health;
+  report.quarantined_modes = engine_result.quarantined_modes;
+  report.sensor_available = mask;
 
-  // Split the stacked testing-sensor anomaly back out by suite sensor.
+  // Split the stacked testing-sensor anomaly back out by suite sensor
+  // (degraded steps stack only the available testing sensors).
   report.sensor_anomaly_by_sensor.resize(suite_.count());
   std::size_t at = 0;
-  for (std::size_t t : mode.testing) {
+  for (std::size_t t : active_testing_of(mode, selected)) {
     const std::size_t dim = suite_.sensor(t).dim();
     report.sensor_anomaly_by_sensor[t] =
         selected.sensor_anomaly.segment(at, dim);

@@ -31,6 +31,13 @@ struct DetectionReport {
 
   Decision decision;         // alarms, statistics, attribution
 
+  // Runtime health (fault-tolerant runtime, docs/ROBUSTNESS.md): per-mode
+  // supervision states and the sensors that actually delivered a reading
+  // this iteration (empty = all).
+  std::vector<ModeHealthState> mode_health;
+  std::size_t quarantined_modes = 0;
+  std::vector<bool> sensor_available;
+
   // Raw NUISE outputs of the selected mode. Kept so offline sweeps (the
   // Fig. 7 decision-parameter study) can replay a DecisionMaker with
   // different α / c / w settings without re-running the estimation.
@@ -55,8 +62,16 @@ class RoboAds {
   const Vector& state_estimate() const { return engine_.state(); }
 
   // One control iteration: planned commands u_{k−1} and the full stacked
-  // sensor readings z_k (monitor intake, Algorithm 1 lines 2-3).
+  // sensor readings z_k (monitor intake, Algorithm 1 lines 2-3). Sensors
+  // whose reading block contains a non-finite value are automatically
+  // treated as unavailable for the iteration instead of poisoning the
+  // estimator bank.
   DetectionReport step(const Vector& u_prev, const Vector& z_full);
+
+  // Degraded-mode iteration under a per-sensor availability mask (empty =
+  // all available; see sim/faults.h and docs/ROBUSTNESS.md).
+  DetectionReport step(const Vector& u_prev, const Vector& z_full,
+                       const SensorMask& available);
 
   // Restarts estimation for a new mission.
   void reset(const Vector& x0, const Matrix& p0);

@@ -20,13 +20,44 @@ std::vector<MissionJobResult> run_mission_batch(
   }
   std::vector<MissionJobResult> results(jobs.size());
   sim::ScenarioBatchRunner runner(config);
-  runner.run(jobs.size(), [&](std::size_t i) {
-    const attacks::Scenario scenario = jobs[i].make_scenario();
-    MissionJobResult& out = results[i];
-    out.name = jobs[i].name.empty() ? scenario.name() : jobs[i].name;
-    out.result = run_mission(platform, scenario, jobs[i].config);
-    out.score = score_mission(out.result, platform);
-  });
+  // A failing mission must not sink the sweep: errors become structured
+  // MissionFailure records in the job's own slot. MissionError is caught
+  // here to keep its step index; run_contained is the safety net for
+  // anything escaping the inner handlers (e.g. a throwing scenario factory).
+  const std::vector<sim::TaskFailure> uncaught =
+      runner.run_contained(jobs.size(), [&](std::size_t i) {
+        MissionJobResult& out = results[i];
+        out.name = jobs[i].name;
+        MissionFailure fail;
+        fail.seed = jobs[i].config.seed;
+        try {
+          const attacks::Scenario scenario = jobs[i].make_scenario();
+          out.name = jobs[i].name.empty() ? scenario.name() : jobs[i].name;
+          fail.scenario = scenario.name();
+          out.result = run_mission(platform, scenario, jobs[i].config);
+          out.score = score_mission(out.result, platform);
+        } catch (const MissionError& e) {
+          fail.name = out.name;
+          fail.step = e.step();
+          fail.what = e.what();
+          out.failure = std::move(fail);
+        } catch (const std::exception& e) {
+          fail.name = out.name;
+          fail.step = 0;
+          fail.what = e.what();
+          out.failure = std::move(fail);
+        }
+      });
+  for (const sim::TaskFailure& tf : uncaught) {
+    if (!results[tf.index].failure.has_value()) {
+      MissionFailure fail;
+      fail.name = results[tf.index].name.empty() ? jobs[tf.index].name
+                                                 : results[tf.index].name;
+      fail.seed = jobs[tf.index].config.seed;
+      fail.what = tf.what;
+      results[tf.index].failure = std::move(fail);
+    }
+  }
   return results;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,25 @@ struct MissionJob {
   MissionConfig config;
 };
 
+// One mission that aborted instead of finishing: the structured record a
+// sweep reports instead of crashing (docs/ROBUSTNESS.md). `step` is the
+// 1-based control iteration at which the error fired; 0 means setup.
+struct MissionFailure {
+  std::string name;      // job label (scenario name when the label is empty)
+  std::string scenario;  // scenario name, when the factory got that far
+  std::uint64_t seed = 0;
+  std::size_t step = 0;
+  std::string what;      // the underlying exception's message
+};
+
 struct MissionJobResult {
   std::string name;
   MissionResult result;
   ScenarioScore score;
+  // Set when the mission aborted; `result` and `score` are then
+  // default-constructed.
+  std::optional<MissionFailure> failure;
+  bool failed() const { return failure.has_value(); }
 };
 
 // Convenience builder for the common case.

@@ -46,6 +46,13 @@ MissionResult run_mission(const Platform& platform,
                          platform.process_cov(), platform.initial_state(), p0,
                          detector_config, platform.detector_modes());
 
+  // Transport faults sit between the sensing workflows and every reading
+  // consumer (planner *and* detector read the same bus). An inactive config
+  // never touches the readings or draws from an Rng, so the default mission
+  // is bit-identical to the pre-fault-layer runner.
+  sim::TransportFaultModel faults(suite, config.transport_faults);
+  const bool faults_active = faults.active();
+
   MissionResult result;
   result.dt = model.dt();
   result.records.reserve(config.iterations);
@@ -53,19 +60,37 @@ MissionResult run_mission(const Platform& platform,
   // Initial readings before the first command (k = 0 is attack-free in all
   // bundled scenarios; the controller needs a pose to start from).
   Vector z = sensing.sense_all(0, simulator.state(), rng);
+  core::SensorMask mask;  // empty = all sensors delivered
+  if (faults_active) {
+    sim::BusDelivery delivery = faults.deliver(0, z);
+    z = std::move(delivery.z);
+    mask.assign(delivery.available.begin(), delivery.available.end());
+  }
 
   for (std::size_t k = 1; k <= config.iterations; ++k) {
     IterationRecord rec;
     rec.k = k;
-    rec.u_planned = controller->control(z);
-    rec.u_executed = actuation.execute(k, rec.u_planned);
-    simulator.step(rec.u_executed, rng);
-    rec.x_true = simulator.state();
-    rec.collided = simulator.collided();
-    z = sensing.sense_all(k, simulator.state(), rng);
-    rec.z = z;
-    rec.report = detector.step(rec.u_planned, z);
-    controller->observe(rec.report);
+    try {
+      rec.u_planned = controller->control(z);
+      rec.u_executed = actuation.execute(k, rec.u_planned);
+      simulator.step(rec.u_executed, rng);
+      rec.x_true = simulator.state();
+      rec.collided = simulator.collided();
+      z = sensing.sense_all(k, simulator.state(), rng);
+      if (faults_active) {
+        sim::BusDelivery delivery = faults.deliver(k, z);
+        z = std::move(delivery.z);
+        mask.assign(delivery.available.begin(), delivery.available.end());
+      }
+      rec.z = z;
+      rec.sensor_available = mask;
+      rec.report = detector.step(rec.u_planned, z, mask);
+      controller->observe(rec.report);
+    } catch (const MissionError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw MissionError(k, e.what());
+    }
     rec.truth = scenario.truth_at(k, suite);
     if (rec.truth.actuator_corrupted &&
         (rec.u_executed - rec.u_planned).norm_inf() <
@@ -76,6 +101,10 @@ MissionResult run_mission(const Platform& platform,
     result.records.push_back(std::move(rec));
     if (controller->finished()) break;
   }
+  result.frames_dropped = faults.total_dropped();
+  result.frames_stale = faults.total_stale();
+  result.frames_duplicated = faults.total_duplicated();
+  result.frames_frozen = faults.total_frozen();
 
   const Vector final_state = simulator.state();
   result.goal_reached =

@@ -5,10 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/linear_baseline.h"
 #include "eval/platform.h"
+#include "sim/faults.h"
 
 namespace roboads::eval {
 
@@ -25,6 +28,25 @@ struct MissionConfig {
   // confirmed-misbehaving sensor readings with the detector's state
   // estimate.
   bool resilient_control = false;
+  // Benign transport faults applied between the sensing workflows and every
+  // reading consumer (sim/faults.h). An inactive config (the default) is
+  // bypassed entirely — the mission is bit-identical to the pre-fault-layer
+  // runner.
+  sim::TransportFaultConfig transport_faults;
+};
+
+// Thrown when a mission aborts mid-run: carries the 1-based control
+// iteration at which the underlying error fired, so batch sweeps can report
+// (scenario, seed, step) without losing the cause. Step 0 means the failure
+// happened during mission setup rather than inside the loop.
+class MissionError : public std::runtime_error {
+ public:
+  MissionError(std::size_t step_index, const std::string& cause)
+      : std::runtime_error(cause), step_(step_index) {}
+  std::size_t step() const { return step_; }
+
+ private:
+  std::size_t step_;
 };
 
 struct IterationRecord {
@@ -33,6 +55,9 @@ struct IterationRecord {
   Vector u_planned;            // planner output
   Vector u_executed;           // after actuator corruption
   Vector z;                    // stacked readings delivered to the planner
+  // Per suite sensor: a frame actually arrived this iteration (empty = all;
+  // only populated when transport faults are active).
+  std::vector<bool> sensor_available;
   bool collided = false;       // wall/obstacle contact during the step
   core::DetectionReport report;
   // Scenario ground truth at k; wall contact is folded into the actuator
@@ -44,6 +69,11 @@ struct MissionResult {
   std::vector<IterationRecord> records;
   bool goal_reached = false;
   double dt = 0.0;  // control period, for converting delays to seconds
+  // Transport fault totals over the mission (all zero when inactive).
+  std::size_t frames_dropped = 0;
+  std::size_t frames_stale = 0;
+  std::size_t frames_duplicated = 0;
+  std::size_t frames_frozen = 0;
 };
 
 // Runs one mission of `scenario` on `platform`. Deterministic per seed.

@@ -85,6 +85,23 @@ void ScenarioBatchRunner::run(std::size_t count,
   pool_.parallel_for(count, task);
 }
 
+std::vector<TaskFailure> ScenarioBatchRunner::run_contained(
+    std::size_t count, const std::function<void(std::size_t)>& task) {
+  std::vector<std::optional<TaskFailure>> slots(count);
+  pool_.parallel_for(count, [&](std::size_t i) {
+    try {
+      task(i);
+    } catch (const std::exception& e) {
+      slots[i] = TaskFailure{i, e.what()};
+    }
+  });
+  std::vector<TaskFailure> failures;
+  for (std::optional<TaskFailure>& slot : slots) {
+    if (slot.has_value()) failures.push_back(std::move(*slot));
+  }
+  return failures;
+}
+
 void ActuationWorkflow::attach_injector(attacks::InjectorPtr injector) {
   ROBOADS_CHECK(injector != nullptr, "null injector");
   injectors_.push_back(std::move(injector));

@@ -112,6 +112,12 @@ struct WorkflowConfig {
   std::size_t num_threads = 0;
 };
 
+// One contained task failure from ScenarioBatchRunner::run_contained.
+struct TaskFailure {
+  std::size_t index = 0;  // the failing task's index
+  std::string what;       // the caught exception's message
+};
+
 class ScenarioBatchRunner {
  public:
   explicit ScenarioBatchRunner(WorkflowConfig config = {});
@@ -125,6 +131,15 @@ class ScenarioBatchRunner {
   // stateful and shared per Scenario instance — never share one across
   // concurrent tasks) and seed its own Rng.
   void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  // Failure-contained variant for long sweeps: a task throwing a
+  // std::exception is recorded as a TaskFailure (index-ordered) and the
+  // remaining tasks keep running; only non-std exceptions still propagate
+  // through the pool's rethrow. Failures land in index-owned slots with a
+  // serial reduction after the join, so the returned list is identical for
+  // every worker count.
+  std::vector<TaskFailure> run_contained(
+      std::size_t count, const std::function<void(std::size_t)>& task);
 
  private:
   common::ThreadPool pool_;

@@ -172,6 +172,11 @@ double chi_square_quantile(double p, std::size_t dof) {
 
 double chi_square_threshold(double alpha, std::size_t dof) {
   ROBOADS_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+  // Degenerate test: a zero-dimensional anomaly vector has statistic
+  // identically 0, so 0 is the one threshold that never rejects it. Keeps a
+  // fully-degraded decision step (no testable sensors, sim/faults.h) from
+  // tripping the dof >= 1 domain check.
+  if (dof == 0) return 0.0;
   return chi_square_quantile(1.0 - alpha, dof);
 }
 

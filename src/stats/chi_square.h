@@ -31,7 +31,8 @@ double chi_square_quantile(double p, std::size_t dof);
 
 // Detection threshold for a test at confidence level `alpha` (the paper's α):
 // the (1 - alpha) quantile. A statistic above this rejects the "no anomaly"
-// hypothesis.
+// hypothesis. dof = 0 (a zero-dimensional statistic, possible on a fully
+// degraded step) returns 0 instead of tripping the quantile's domain check.
 double chi_square_threshold(double alpha, std::size_t dof);
 
 }  // namespace roboads::stats

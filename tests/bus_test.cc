@@ -40,6 +40,82 @@ TEST(BusLog, OrdersByArrivalTime) {
   EXPECT_THROW(log.record(Packet{}), CheckError);
 }
 
+TEST(BusLog, FromSurvivesLaterRecords) {
+  // Regression: from() used to return pointers into the log's backing
+  // vector, which the next record() invalidates on reallocation (and shifts
+  // on a late arrival). It now returns copies, so a snapshot must stay
+  // intact no matter how much is recorded afterwards.
+  BusLog log;
+  log.record(make_packet("a", 0, 0.0, 7, Vector{1.0}));
+  log.record(make_packet("a", 1, 0.1, 7, Vector{2.0}));
+  const std::vector<Packet> snapshot = log.from("a");
+  // Force reallocations and shifting insertions (late arrival at 0.05 s).
+  for (std::size_t k = 0; k < 1000; ++k) {
+    log.record(make_packet("b", k, 1.0 + 0.1 * static_cast<double>(k), 9,
+                           Vector{0.0}));
+  }
+  log.record(make_packet("a", 2, 0.05, 7, Vector{3.0}));
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].iteration, 0u);
+  EXPECT_DOUBLE_EQ(snapshot[0].payload[0], 1.0);
+  EXPECT_EQ(snapshot[1].iteration, 1u);
+  EXPECT_DOUBLE_EQ(snapshot[1].payload[0], 2.0);
+  // The log itself now interleaves the late arrival in arrival order.
+  const std::vector<Packet> all_a = log.from("a");
+  ASSERT_EQ(all_a.size(), 3u);
+  EXPECT_EQ(all_a[1].iteration, 2u);
+}
+
+TEST(BusLog, EmptyLog) {
+  const BusLog log;
+  EXPECT_TRUE(log.packets().empty());
+  EXPECT_TRUE(log.from("ips").empty());
+  EXPECT_TRUE(log.sources().empty());
+}
+
+TEST(BusLog, OutOfOrderRecordingSortsByArrival) {
+  BusLog log;
+  for (std::size_t k = 0; k < 20; ++k) {
+    const std::size_t rk = 19 - k;  // record newest-first
+    log.record(make_packet("ips", rk, 0.1 * static_cast<double>(rk), 1,
+                           Vector{0.0}));
+  }
+  const std::vector<Packet> packets = log.from("ips");
+  ASSERT_EQ(packets.size(), 20u);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_LT(packets[i - 1].arrival_time, packets[i].arrival_time);
+  }
+}
+
+TEST(TimingMonitor, QuietOnEmptyLog) {
+  EXPECT_TRUE(TimingMonitor().analyze(BusLog{}).empty());
+}
+
+TEST(TimingMonitor, QuietOnNominalOutOfOrderRecording) {
+  // Periodic traffic recorded in reverse still reads as nominal: the log
+  // re-sorts by arrival time, so the monitor sees clean inter-arrival gaps.
+  BusLog log;
+  for (std::size_t k = 0; k < 50; ++k) {
+    const std::size_t rk = 49 - k;
+    log.record(make_packet("ips", rk, 0.1 * static_cast<double>(rk), 1,
+                           Vector{0.0}));
+  }
+  EXPECT_TRUE(TimingMonitor().analyze(log).empty());
+}
+
+TEST(FingerprintMonitor, QuietOnEmptyLog) {
+  FingerprintMonitor monitor;
+  monitor.enroll("ips", 0x2222);
+  EXPECT_TRUE(monitor.analyze(BusLog{}).empty());
+}
+
+TEST(ContentEnvelopeMonitor, EmptyTrainingLogLeavesUntrained) {
+  ContentEnvelopeMonitor monitor;
+  monitor.train(BusLog{});
+  EXPECT_FALSE(monitor.trained());
+  EXPECT_THROW(monitor.analyze(periodic_log(5)), CheckError);
+}
+
 TEST(TimingMonitor, QuietOnNominalTraffic) {
   TimingMonitor monitor;
   EXPECT_TRUE(monitor.analyze(periodic_log(50)).empty());

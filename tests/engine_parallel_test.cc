@@ -100,18 +100,34 @@ std::vector<StepInput> attacked_mission(Rig& rig, std::size_t steps = 200) {
 }
 
 // Runs the full trace through a fresh engine at the given thread count and
-// returns every step's result.
+// returns every step's result. `mask_mode` selects how each step is issued:
+// 0 = the plain 2-argument step, 1 = masked step with an empty mask, 2 =
+// masked step with an all-true mask — all three are contractually the same
+// code path and must be bit-identical.
 std::vector<EngineResult> run_trace(Rig& rig, const std::vector<Mode>& modes,
                                     const std::vector<StepInput>& trace,
-                                    std::size_t num_threads) {
+                                    std::size_t num_threads,
+                                    int mask_mode = 0,
+                                    bool health_enabled = true) {
   EngineConfig cfg;
   cfg.num_threads = num_threads;
+  cfg.health.enabled = health_enabled;
   MultiModeEngine engine(rig.model, rig.suite, modes, rig.q, rig.x0, rig.p0,
                          cfg);
   std::vector<EngineResult> results;
   results.reserve(trace.size());
   for (const StepInput& in : trace) {
-    results.push_back(engine.step(in.u, in.z));
+    switch (mask_mode) {
+      case 1:
+        results.push_back(engine.step(in.u, in.z, SensorMask{}));
+        break;
+      case 2:
+        results.push_back(
+            engine.step(in.u, in.z, SensorMask(rig.suite.count(), true)));
+        break;
+      default:
+        results.push_back(engine.step(in.u, in.z));
+    }
   }
   return results;
 }
@@ -172,6 +188,34 @@ TEST(EngineParallel, CompleteModeSetMatchesAcrossThreadCounts) {
   for (std::size_t threads : {std::size_t{0}, std::size_t{2}, std::size_t{8}}) {
     SCOPED_TRACE("num_threads = " + std::to_string(threads));
     expect_identical(serial, run_trace(rig, modes, trace, threads));
+  }
+}
+
+// The fault-tolerant runtime's no-fault contract: with every sensor
+// available (however that is spelled) and health supervision enabled —
+// the default — outputs are bit-identical to the plain unsupervised run.
+// Supervision is pure reads on healthy results; the masked entry points
+// route trivial masks to the exact legacy path.
+TEST(EngineParallel, MaskedAllAvailableAndSupervisionAreBitIdentical) {
+  Rig rig;
+  const std::vector<Mode> modes = one_reference_per_sensor(rig.suite);
+  const std::vector<StepInput> trace = attacked_mission(rig);
+
+  const std::vector<EngineResult> plain_unsupervised =
+      run_trace(rig, modes, trace, 1, /*mask_mode=*/0,
+                /*health_enabled=*/false);
+  for (int mask_mode : {0, 1, 2}) {
+    SCOPED_TRACE("mask_mode = " + std::to_string(mask_mode));
+    const std::vector<EngineResult> supervised =
+        run_trace(rig, modes, trace, 1, mask_mode, /*health_enabled=*/true);
+    expect_identical(plain_unsupervised, supervised);
+    // And the supervised run reports every mode healthy throughout.
+    for (const EngineResult& r : supervised) {
+      EXPECT_EQ(r.quarantined_modes, 0u);
+      for (ModeHealthState s : r.mode_health) {
+        EXPECT_EQ(s, ModeHealthState::kHealthy);
+      }
+    }
   }
 }
 

@@ -1,12 +1,15 @@
-// Golden-trace regression: a seeded Fig.-6/Scenario-8 Khepera mission is
-// serialized through the trace I/O layer and compared field-by-field
-// against a checked-in CSV, with per-field-class tolerances. Any refactor
-// of the NUISE/engine numerics that shifts the outputs beyond formatting
-// noise fails here loudly instead of silently bending the paper's figures.
+// Golden-trace regression: seeded missions are serialized through the trace
+// I/O layer and compared field-by-field against checked-in CSVs, with
+// per-field-class tolerances. Any refactor of the NUISE/engine numerics
+// that shifts the outputs beyond formatting noise fails here loudly instead
+// of silently bending the paper's figures. Two missions are pinned:
+//   - the Fig.-6/Scenario-8 Khepera run (differential drive), and
+//   - the T3 IPS-spoofing Tamiya run (kinematic bicycle), so both dynamic
+//     models and both platform sensor stacks are covered.
 //
 // Regenerate after an *intentional* numeric change with:
 //   GOLDEN_REGEN=1 ./build/tests/golden_trace_test
-// and review the diff of tests/data/golden_scenario8.csv like code.
+// and review the diff of tests/data/golden_*.csv like code.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -18,6 +21,7 @@
 
 #include "eval/khepera.h"
 #include "eval/mission.h"
+#include "eval/tamiya.h"
 #include "eval/trace_io.h"
 
 namespace roboads::eval {
@@ -27,19 +31,30 @@ namespace {
 #error "ROBOADS_GOLDEN_DIR must point at tests/data"
 #endif
 
-const char* golden_path() {
-  return ROBOADS_GOLDEN_DIR "/golden_scenario8.csv";
-}
-
-// The recorded run: scenario #8 (IPS logic bomb ~4 s + wheel-controller
-// logic bomb ~10 s), seed 88, 20 s — exactly the Fig. 6 reproduction.
-std::string current_trace() {
+// The recorded Khepera run: scenario #8 (IPS logic bomb ~4 s + wheel-
+// controller logic bomb ~10 s), seed 88, 20 s — exactly the Fig. 6
+// reproduction.
+std::string khepera_trace() {
   KheperaPlatform platform;
   MissionConfig cfg;
   cfg.iterations = 200;
   cfg.seed = 88;
   const MissionResult mission =
       run_mission(platform, platform.table2_scenario(8), cfg);
+  std::ostringstream os;
+  write_trace_csv(os, mission, platform);
+  return os.str();
+}
+
+// The recorded Tamiya run: T3 IPS spoofing (fake positioning base shifts Y
+// by -0.15 m), seed 19, 18 s — the bicycle-dynamics counterpart.
+std::string tamiya_trace() {
+  TamiyaPlatform platform;
+  MissionConfig cfg;
+  cfg.iterations = 180;
+  cfg.seed = 19;
+  const MissionResult mission =
+      run_mission(platform, platform.scenario_battery()[2], cfg);
   std::ostringstream os;
   write_trace_csv(os, mission, platform);
   return os.str();
@@ -81,19 +96,20 @@ Tolerance tolerance_for(const std::string& column) {
   return {2e-5, 1e-3};
 }
 
-TEST(GoldenTrace, Scenario8MatchesCheckedInGolden) {
-  const std::string current = current_trace();
-
+// Compares `current` to the checked-in golden at `path`, or rewrites the
+// golden when GOLDEN_REGEN is set.
+void check_against_golden(const std::string& current, const std::string& path,
+                          std::size_t min_rows) {
   if (std::getenv("GOLDEN_REGEN") != nullptr) {
-    std::ofstream out(golden_path());
-    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << current;
-    GTEST_SKIP() << "regenerated " << golden_path();
+    GTEST_SKIP() << "regenerated " << path;
   }
 
-  std::ifstream golden_file(golden_path());
+  std::ifstream golden_file(path);
   ASSERT_TRUE(golden_file.good())
-      << "missing golden file " << golden_path()
+      << "missing golden file " << path
       << " — run with GOLDEN_REGEN=1 to create it";
 
   std::istringstream current_stream(current);
@@ -128,7 +144,17 @@ TEST(GoldenTrace, Scenario8MatchesCheckedInGolden) {
   }
   EXPECT_FALSE(std::getline(current_stream, current_line))
       << "trace grew past the golden file at row " << row;
-  EXPECT_GE(row, 150u) << "golden mission ended suspiciously early";
+  EXPECT_GE(row, min_rows) << "golden mission ended suspiciously early";
+}
+
+TEST(GoldenTrace, Scenario8MatchesCheckedInGolden) {
+  check_against_golden(khepera_trace(),
+                       ROBOADS_GOLDEN_DIR "/golden_scenario8.csv", 150u);
+}
+
+TEST(GoldenTrace, TamiyaIpsSpoofMatchesCheckedInGolden) {
+  check_against_golden(tamiya_trace(),
+                       ROBOADS_GOLDEN_DIR "/golden_tamiya_t3.csv", 120u);
 }
 
 }  // namespace

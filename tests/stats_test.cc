@@ -71,6 +71,56 @@ TEST(ChiSquare, ThresholdIsUpperQuantile) {
   EXPECT_THROW(chi_square_threshold(1.0, 2), roboads::CheckError);
 }
 
+TEST(ChiSquare, ZeroDofThresholdIsZero) {
+  // dof = 0 means a zero-dimensional statistic (identically 0): the
+  // threshold degenerates to 0 instead of tripping the quantile's domain
+  // check. The distribution functions themselves still require dof >= 1.
+  EXPECT_DOUBLE_EQ(chi_square_threshold(0.05, 0), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square_threshold(0.995, 0), 0.0);
+  EXPECT_THROW(chi_square_cdf(1.0, 0), roboads::CheckError);
+  EXPECT_THROW(chi_square_sf(1.0, 0), roboads::CheckError);
+  EXPECT_THROW(chi_square_quantile(0.5, 0), roboads::CheckError);
+}
+
+TEST(ChiSquare, QuantileExtremeTails) {
+  for (std::size_t dof : {1u, 3u, 9u}) {
+    // p → 0: quantile collapses toward 0 but stays finite and positive.
+    // The safeguarded Newton resolves x only to ~1e-13 absolute, so for
+    // dof = 1 (where x* ≈ 1e-24) the recovered CDF can only be bounded
+    // small, not matched to p.
+    const double lo = chi_square_quantile(1e-12, dof);
+    EXPECT_TRUE(std::isfinite(lo));
+    EXPECT_GT(lo, 0.0);
+    EXPECT_LE(chi_square_cdf(lo, dof), 1e-6);
+    // p → 1: quantile grows but stays finite, with the matching tiny
+    // survival probability.
+    const double hi = chi_square_quantile(1.0 - 1e-12, dof);
+    EXPECT_TRUE(std::isfinite(hi));
+    EXPECT_GT(hi, static_cast<double>(dof));
+    EXPECT_NEAR(chi_square_sf(hi, dof), 1e-12, 1e-13);
+    EXPECT_LT(lo, hi);
+  }
+  // The boundaries themselves stay out of the domain.
+  EXPECT_THROW(chi_square_quantile(0.0, 3), roboads::CheckError);
+  EXPECT_THROW(chi_square_quantile(1.0, 3), roboads::CheckError);
+}
+
+TEST(ChiSquare, HugeStatisticsSaturateCleanly) {
+  // A wildly diverged anomaly statistic (the kind health supervision exists
+  // to catch upstream) must still produce a clean probability, not NaN.
+  for (std::size_t dof : {1u, 3u, 30u}) {
+    for (double x : {1e6, 1e8, 1e12}) {
+      const double cdf = chi_square_cdf(x, dof);
+      const double sf = chi_square_sf(x, dof);
+      EXPECT_TRUE(std::isfinite(cdf));
+      EXPECT_TRUE(std::isfinite(sf));
+      EXPECT_DOUBLE_EQ(cdf, 1.0) << "dof=" << dof << " x=" << x;
+      EXPECT_GE(sf, 0.0);
+      EXPECT_LE(sf, 1e-6);
+    }
+  }
+}
+
 TEST(ChiSquare, StatisticOfGaussianSamplesMatchesDistribution) {
   // Monte-Carlo: x^T Σ⁻¹ x for x ~ N(0, Σ) should exceed the α-threshold
   // with probability ≈ α.
