@@ -1,8 +1,11 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,23 +14,120 @@
 #include "eval/khepera.h"
 #include "eval/mission.h"
 #include "eval/scoring.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 
 namespace roboads::bench {
 
-// Every bench accepts `--threads=N` (0 = hardware concurrency, 1 = serial)
-// for its batched scenario sweep. The printed numbers are identical for
-// every setting — the runner writes into per-job slots and reduces
-// serially — so the knob is pure wall-clock.
-inline sim::WorkflowConfig workflow_config_from_args(int argc, char** argv) {
-  sim::WorkflowConfig config;
+// The one flag parser shared by every bench binary. Flags:
+//
+//   --threads=N      batched-sweep concurrency (0 = hardware concurrency,
+//                    1 = serial). The printed numbers are identical for
+//                    every setting — the runner writes into per-job slots
+//                    and reduces serially — so the knob is pure wall-clock.
+//   --trace-out=P    enable the structured detector trace and write it to P
+//                    on exit (.csv → flattened iteration table, anything
+//                    else → JSONL; docs/OBSERVABILITY.md).
+//   --metrics-out=P  enable the metrics registry, print the roboads_report
+//                    summary on exit, and write the metrics snapshot JSONL
+//                    to P ("-" = report only, no file).
+//
+// Malformed values and unknown flags are hard errors: a bench silently
+// running serial because "--threads=abc" parsed as 0 wastes a sweep.
+struct BenchArgs {
+  sim::WorkflowConfig workflow;
+  obs::ObsConfig obs;
+};
+
+[[noreturn]] inline void bench_usage_error(const char* argv0,
+                                           const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--threads=N] [--trace-out=PATH] "
+               "[--metrics-out=PATH|-]\n",
+               argv0);
+  std::exit(2);
+}
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      config.num_threads =
-          static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const char* value = arg + 10;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || end == value || *end != '\0' ||
+          !std::isdigit(static_cast<unsigned char>(*value))) {
+        bench_usage_error(argv[0], std::string("--threads expects a ") +
+                                       "non-negative integer, got \"" + value +
+                                       "\"");
+      }
+      args.workflow.num_threads = static_cast<std::size_t>(parsed);
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      const std::string path = arg + 12;
+      if (path.empty()) {
+        bench_usage_error(argv[0], "--trace-out expects a path");
+      }
+      args.obs.trace = true;
+      if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+        args.obs.trace_csv_path = path;
+      } else {
+        args.obs.trace_jsonl_path = path;
+      }
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      const std::string path = arg + 14;
+      if (path.empty()) {
+        bench_usage_error(argv[0], "--metrics-out expects a path or \"-\"");
+      }
+      args.obs.metrics = true;
+      if (path != "-") args.obs.metrics_jsonl_path = path;
+    } else {
+      bench_usage_error(argv[0],
+                        std::string("unknown argument \"") + arg + "\"");
     }
   }
-  return config;
+  return args;
 }
+
+// Owns the run's observability (if any flags enabled it), threads the
+// handles into the workflow config, and writes artifacts + prints the
+// summary report at scope exit.
+class BenchObservation {
+ public:
+  explicit BenchObservation(BenchArgs args) : args_(std::move(args)) {
+    if (args_.obs.enabled()) {
+      bundle_ = std::make_unique<obs::Observability>(args_.obs);
+      args_.workflow.instruments = bundle_->instruments();
+    }
+  }
+
+  // Workflow config with instruments attached; pass to run_mission_batch.
+  const sim::WorkflowConfig& workflow() const { return args_.workflow; }
+  obs::Instruments instruments() const {
+    return args_.workflow.instruments;
+  }
+
+  // Writes the configured artifacts and prints the report. Call last.
+  void finish() {
+    if (bundle_ == nullptr) return;
+    bundle_->finish();
+    std::printf("%s", bundle_->report().c_str());
+    if (!args_.obs.trace_jsonl_path.empty()) {
+      std::printf("trace jsonl: %s\n", args_.obs.trace_jsonl_path.c_str());
+    }
+    if (!args_.obs.trace_csv_path.empty()) {
+      std::printf("trace csv:   %s\n", args_.obs.trace_csv_path.c_str());
+    }
+    if (!args_.obs.metrics_jsonl_path.empty()) {
+      std::printf("metrics:     %s\n", args_.obs.metrics_jsonl_path.c_str());
+    }
+  }
+
+ private:
+  BenchArgs args_;
+  std::unique_ptr<obs::Observability> bundle_;
+};
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
@@ -62,10 +162,15 @@ struct ScenarioRun {
 inline ScenarioRun run_and_score(const eval::Platform& platform,
                                  const attacks::Scenario& scenario,
                                  std::uint64_t seed,
-                                 std::size_t iterations = 250) {
+                                 std::size_t iterations = 250,
+                                 obs::Instruments instruments = {}) {
   eval::MissionConfig cfg;
   cfg.iterations = iterations;
   cfg.seed = seed;
+  cfg.instruments = instruments;
+  if (instruments.enabled()) {
+    cfg.obs_label = scenario.name() + "/s" + std::to_string(seed);
+  }
   ScenarioRun run;
   run.name = scenario.name();
   run.result = eval::run_mission(platform, scenario, cfg);

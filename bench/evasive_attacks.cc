@@ -32,7 +32,7 @@ bool actuator_detected(const eval::ScenarioScore& score) {
   return false;
 }
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("§V-H — evasive (stealthy) attack magnitude sweep",
                "RoboADS (DSN'18) §V-H");
 
@@ -51,7 +51,7 @@ int run() {
         {{InjectionPoint::kSensorOutput, "ips",
           std::make_shared<BiasInjector>(Window{60, ~std::size_t{0}},
                                          Vector{shift, 0.0, 0.0})}});
-    const ScenarioRun run = run_and_score(platform, scenario, 60000);
+    const ScenarioRun run = run_and_score(platform, scenario, 60000, 250, instruments);
     const bool caught = sensor_detected(run.score);
     std::printf("%-14.3f %-10s %-12s\n", shift, caught ? "yes" : "no",
                 run.score.delays.empty()
@@ -78,7 +78,7 @@ int run() {
         {{InjectionPoint::kActuatorCommand, "wheels",
           std::make_shared<BiasInjector>(Window{60, ~std::size_t{0}},
                                          Vector{-mps, mps})}});
-    const ScenarioRun run = run_and_score(platform, scenario, 60001);
+    const ScenarioRun run = run_and_score(platform, scenario, 60001, 250, instruments);
     const bool caught = actuator_detected(run.score);
     std::printf("%-14.0f %-12.4f %-10s %-12s\n", units, mps,
                 caught ? "yes" : "no",
@@ -100,4 +100,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

@@ -8,7 +8,7 @@
 namespace roboads::bench {
 namespace {
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Extension — attack shapes beyond the Table II battery",
                "RoboADS (DSN'18) Table I taxonomy / §II-B threat model");
 
@@ -24,7 +24,7 @@ int run() {
   std::vector<double> delays;
   for (std::size_t i = 0; i < count; ++i) {
     const attacks::Scenario scenario = platform.extended_scenarios()[i];
-    const ScenarioRun run = run_and_score(platform, scenario, 7100 + i);
+    const ScenarioRun run = run_and_score(platform, scenario, 7100 + i, 250, instruments);
     const eval::ScenarioScore& s = run.score;
 
     std::string delay_str;
@@ -71,4 +71,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

@@ -156,6 +156,9 @@ int run(const sim::WorkflowConfig& workflow_config) {
 }  // namespace roboads::bench
 
 int main(int argc, char** argv) {
-  return roboads::bench::run(
-      roboads::bench::workflow_config_from_args(argc, argv));
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.workflow());
+  watch.finish();
+  return rc;
 }

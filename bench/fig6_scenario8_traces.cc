@@ -19,7 +19,7 @@ double component(const Vector& v, std::size_t i) {
   return i < v.size() ? v[i] : 0.0;
 }
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Figure 6 — raw engine outputs for scenario #8",
                "RoboADS (DSN'18) Fig. 6");
 
@@ -27,6 +27,8 @@ int run() {
   eval::MissionConfig cfg;
   cfg.iterations = 200;  // 20 s, matching the figure's time axis
   cfg.seed = 88;
+  cfg.instruments = instruments;
+  cfg.obs_label = "fig6/scenario8";
   const eval::MissionResult mission =
       eval::run_mission(platform, platform.table2_scenario(8), cfg);
 
@@ -93,4 +95,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

@@ -33,7 +33,7 @@ eval::ScenarioScore replay(const eval::KheperaPlatform& platform,
   return eval::score_mission(replayed, platform);
 }
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Figure 7 — decision parameter selection (α, w, c)",
                "RoboADS (DSN'18) Fig. 7a-7d");
 
@@ -46,6 +46,8 @@ int run() {
     eval::MissionConfig cfg;
     cfg.iterations = 250;
     cfg.seed = 7000 + n;
+    cfg.instruments = instruments;
+    cfg.obs_label = "fig7/scenario" + std::to_string(n);
     missions.push_back(
         {eval::run_mission(platform, platform.table2_scenario(n), cfg)});
   }
@@ -53,6 +55,8 @@ int run() {
     eval::MissionConfig cfg;
     cfg.iterations = 250;
     cfg.seed = seed;
+    cfg.instruments = instruments;
+    cfg.obs_label = "fig7/clean_s" + std::to_string(seed);
     missions.push_back(
         {eval::run_mission(platform, platform.clean_scenario(), cfg)});
   }
@@ -151,4 +155,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

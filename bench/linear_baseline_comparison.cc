@@ -12,7 +12,7 @@
 namespace roboads::bench {
 namespace {
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("§V-G — per-iteration relinearization vs one-time "
                "linearization",
                "RoboADS (DSN'18) §V-G");
@@ -33,12 +33,15 @@ int run() {
     eval::MissionConfig ours_cfg;
     ours_cfg.iterations = 250;
     ours_cfg.seed = 5000 + n;
+    ours_cfg.instruments = instruments;
+    ours_cfg.obs_label = "nonlinear/" + std::to_string(n);
     const eval::MissionResult ours_run =
         eval::run_mission(platform, make_scenario(), ours_cfg);
     const eval::ScenarioScore ours = eval::score_mission(ours_run, platform);
 
     eval::MissionConfig base_cfg = ours_cfg;
     base_cfg.linear_baseline = true;
+    base_cfg.obs_label = "linearized/" + std::to_string(n);
     const eval::MissionResult base_run =
         eval::run_mission(platform, make_scenario(), base_cfg);
     const eval::ScenarioScore base = eval::score_mission(base_run, platform);
@@ -72,4 +75,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

@@ -34,7 +34,9 @@ class ModedKhepera final : public eval::KheperaPlatform {
   bool complete_;
 };
 
-ModeSetResult evaluate(const eval::KheperaPlatform& platform) {
+ModeSetResult evaluate(const eval::KheperaPlatform& platform,
+                       const obs::Instruments& instruments,
+                       const std::string& set_label) {
   ModeSetResult out;
   std::vector<double> delays;
   std::size_t total_iterations = 0;
@@ -43,6 +45,8 @@ ModeSetResult evaluate(const eval::KheperaPlatform& platform) {
     eval::MissionConfig cfg;
     cfg.iterations = 250;
     cfg.seed = 8200 + n;
+    cfg.instruments = instruments;
+    cfg.obs_label = set_label + "/scenario" + std::to_string(n);
     const eval::MissionResult mission =
         eval::run_mission(platform, platform.table2_scenario(n), cfg);
     const eval::ScenarioScore score = eval::score_mission(mission, platform);
@@ -61,14 +65,14 @@ ModeSetResult evaluate(const eval::KheperaPlatform& platform) {
   return out;
 }
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Ablation — mode set selection (M = p vs M = 2^p − 1)",
                "RoboADS (DSN'18) §VI 'Mode set selection'");
 
   const ModedKhepera one_ref(false);
   const ModedKhepera complete(true);
-  const ModeSetResult r_one = evaluate(one_ref);
-  const ModeSetResult r_all = evaluate(complete);
+  const ModeSetResult r_one = evaluate(one_ref, instruments, "one_ref");
+  const ModeSetResult r_all = evaluate(complete, instruments, "complete");
 
   std::printf("%-30s %18s %18s\n", "", "one-ref (M=3)", "complete (M=7)");
   auto row = [](const char* label, double a, double b, const char* unit) {
@@ -91,6 +95,8 @@ int run() {
   eval::MissionConfig cfg;
   cfg.iterations = 250;
   cfg.seed = 99;
+  cfg.instruments = instruments;
+  cfg.obs_label = "ablation/replay_source";
   const eval::MissionResult trace =
       eval::run_mission(one_ref, one_ref.clean_scenario(), cfg);
   auto detector_cost = [&](const eval::KheperaPlatform& platform) {
@@ -127,4 +133,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

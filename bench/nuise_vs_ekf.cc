@@ -18,7 +18,7 @@
 namespace roboads::bench {
 namespace {
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Ablation — NUISE unknown-input estimation vs standard EKF",
                "RoboADS (DSN'18) §IV-B challenge 2");
 
@@ -26,6 +26,8 @@ int run() {
   eval::MissionConfig cfg;
   cfg.iterations = 250;
   cfg.seed = 777;
+  cfg.instruments = instruments;
+  cfg.obs_label = "nuise_vs_ekf/scenario1";
   // Scenario #1: wheel controller logic bomb (∓0.04 m/s) from 6 s.
   const eval::MissionResult mission =
       eval::run_mission(platform, platform.table2_scenario(1), cfg);
@@ -105,4 +107,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

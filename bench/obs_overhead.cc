@@ -1,0 +1,184 @@
+// Observability overhead microbench (docs/OBSERVABILITY.md).
+//
+// Two questions, two sections:
+//
+//   1. What does *disabled* instrumentation cost? The hot-path hooks are
+//      null-guarded (ScopedTimer(nullptr), SplitTimer(enabled=false),
+//      `if (counter != nullptr)`), so the disabled cost is a handful of
+//      never-taken branches. Section 1 times an arithmetic kernel of
+//      roughly one NUISE stage's size with and without the null-handle
+//      hooks compiled in — the delta is the true disabled-path overhead
+//      and must stay well under 2%.
+//
+//   2. What does *enabled* instrumentation cost? Section 2 times the full
+//      Khepera detector step (engine + decision maker) with observability
+//      off, with metrics (stage timers + counters), and with metrics +
+//      trace, reporting ns/step and the relative overhead of each tier.
+//
+// Methodology: every variant is timed in the *same* repeat loop (round-
+// robin interleaving) and scored by its minimum ns/iter over the repeats.
+// Interleaving cancels slow drift (frequency scaling, background load)
+// that sequential blocks would attribute to whichever variant ran last,
+// and the minimum estimates the uncontended cost. Section 1 also prints
+// the off-vs-off noise floor measured the same way.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bench/bench_util.h"
+#include "core/roboads.h"
+#include "obs/timer.h"
+
+namespace roboads::bench {
+namespace {
+
+struct Fixture {
+  eval::KheperaPlatform platform;
+  Rng rng{99};
+  Vector x{0.5, 0.5, 0.3};
+  Vector u{0.05, 0.06};
+  Vector z;
+
+  Fixture() {
+    GaussianSampler noise(
+        platform.suite().noise_covariance(platform.suite().all()));
+    z = platform.suite().measure(platform.suite().all(), x) +
+        noise.sample(rng);
+  }
+};
+
+// ns/iteration of one timed run of `iters` calls to `fn`.
+template <typename Fn>
+double timed_ns_per_iter(std::size_t iters, Fn&& fn) {
+  const std::int64_t start = obs::monotonic_ns();
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  const std::int64_t stop = obs::monotonic_ns();
+  return static_cast<double>(stop - start) / static_cast<double>(iters);
+}
+
+double pct_over(double base, double measured) {
+  return base <= 0.0 ? 0.0 : 100.0 * (measured - base) / base;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ~one NUISE stage worth of floating-point work. volatile sink keeps the
+// optimizer from folding the loop away.
+volatile double g_sink = 0.0;
+
+inline double kernel_body(std::size_t i) {
+  double acc = 0.0;
+  for (std::size_t j = 1; j <= 64; ++j) {
+    acc += std::sqrt(static_cast<double>(i * 64 + j));
+  }
+  return acc;
+}
+
+int run(const BenchArgs& args) {
+  print_header("Observability overhead microbench",
+               "docs/OBSERVABILITY.md acceptance numbers");
+
+  // --- Section 1: disabled-path hooks on a synthetic kernel. ---
+  const std::size_t kKernelIters = 100000;
+  const std::size_t kRepeats = 25;
+  const auto plain_fn = [](std::size_t i) { g_sink = kernel_body(i); };
+  const auto hooked_fn = [](std::size_t i) {
+    const obs::ScopedTimer timer(nullptr);   // disabled scoped timer
+    obs::SplitTimer split(false);            // disabled stage timer
+    g_sink = kernel_body(i);
+    split.lap(nullptr);
+    obs::Counter* counter = nullptr;         // disabled counter site
+    if (counter != nullptr) counter->increment();
+  };
+  double plain = kInf;
+  double plain_again = kInf;
+  double hooked = kInf;
+  for (std::size_t r = 0; r < kRepeats; ++r) {
+    plain = std::min(plain, timed_ns_per_iter(kKernelIters, plain_fn));
+    plain_again =
+        std::min(plain_again, timed_ns_per_iter(kKernelIters, plain_fn));
+    hooked = std::min(hooked, timed_ns_per_iter(kKernelIters, hooked_fn));
+  }
+
+  std::printf("section 1 — disabled hooks on a %zu-iter kernel:\n",
+              kKernelIters);
+  std::printf("  plain kernel            %9.1f ns/iter\n", plain);
+  std::printf("  noise floor (off vs off)%+9.2f %%\n",
+              pct_over(plain, plain_again));
+  std::printf("  null-handle hooks       %9.1f ns/iter  (%+.2f %%)\n", hooked,
+              pct_over(plain, hooked));
+
+  // --- Section 2: full detector step per observability tier. ---
+  Fixture f;
+  const Matrix p0 = Matrix::identity(3) * 1e-4;
+  const std::size_t kSteps = 400;
+  const std::size_t kStepRepeats = 11;
+
+  const auto make_detector = [&](const obs::Instruments& instruments) {
+    core::RoboAdsConfig config;
+    config.engine.instruments = instruments;
+    return std::make_unique<core::RoboAds>(f.platform.model(),
+                                           f.platform.suite(),
+                                           f.platform.process_cov(), f.x, p0,
+                                           config);
+  };
+  const auto time_steps = [&](core::RoboAds& detector) {
+    return timed_ns_per_iter(kSteps, [&](std::size_t) {
+      const core::DetectionReport report = detector.step(f.u, f.z);
+      g_sink = report.decision.sensor_statistic;
+    });
+  };
+
+  obs::ObsConfig metrics_cfg;
+  metrics_cfg.metrics = true;
+  obs::Observability metrics_only(metrics_cfg);
+
+  obs::ObsConfig full_cfg;
+  full_cfg.metrics = true;
+  full_cfg.trace = true;
+  // Honor the shared output flags so the bench doubles as a smoke source.
+  full_cfg.trace_jsonl_path = args.obs.trace_jsonl_path;
+  full_cfg.trace_csv_path = args.obs.trace_csv_path;
+  full_cfg.metrics_jsonl_path = args.obs.metrics_jsonl_path;
+  obs::Observability full(full_cfg);
+
+  auto det_off = make_detector(obs::Instruments{});
+  auto det_metrics = make_detector(metrics_only.instruments());
+  auto det_full = make_detector(full.instruments());
+  double off = kInf;
+  double with_metrics = kInf;
+  double with_trace = kInf;
+  for (std::size_t r = 0; r < kStepRepeats; ++r) {
+    off = std::min(off, time_steps(*det_off));
+    with_metrics = std::min(with_metrics, time_steps(*det_metrics));
+    with_trace = std::min(with_trace, time_steps(*det_full));
+  }
+
+  std::printf("\nsection 2 — Khepera detector step (%zu steps/run):\n",
+              kSteps);
+  std::printf("  obs off                 %9.1f ns/step\n", off);
+  std::printf("  metrics                 %9.1f ns/step  (%+.2f %%)\n",
+              with_metrics, pct_over(off, with_metrics));
+  std::printf("  metrics + trace         %9.1f ns/step  (%+.2f %%)\n",
+              with_trace, pct_over(off, with_trace));
+
+  const double disabled_overhead_pct = pct_over(plain, hooked);
+  std::printf("\ndisabled-path overhead: %.2f %% (acceptance: < 2 %%)\n",
+              disabled_overhead_pct);
+  const bool ok = disabled_overhead_pct < 2.0;
+  std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+
+  full.finish();
+  if (full_cfg.enabled() && (!full_cfg.metrics_jsonl_path.empty() ||
+                             !full_cfg.trace_jsonl_path.empty())) {
+    std::printf("%s", full.report().c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace roboads::bench
+
+int main(int argc, char** argv) {
+  return roboads::bench::run(roboads::bench::parse_bench_args(argc, argv));
+}

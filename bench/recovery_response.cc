@@ -35,11 +35,15 @@ struct Outcome {
 };
 
 Outcome run_one(const eval::KheperaPlatform& platform, bool resilient,
-                const std::vector<Vector>& clean_trace) {
+                const std::vector<Vector>& clean_trace,
+                const obs::Instruments& instruments) {
   eval::MissionConfig cfg;
   cfg.iterations = 250;
   cfg.seed = 4711;
   cfg.resilient_control = resilient;
+  cfg.instruments = instruments;
+  cfg.obs_label =
+      resilient ? "recovery/resilient" : "recovery/detect_only";
   const eval::MissionResult result =
       eval::run_mission(platform, ramp_spoof(), cfg);
 
@@ -61,7 +65,7 @@ Outcome run_one(const eval::KheperaPlatform& platform, bool resilient,
   return out;
 }
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Extension — detection response vs detection only",
                "RoboADS (DSN'18) §VII future work");
 
@@ -71,6 +75,8 @@ int run() {
   eval::MissionConfig clean_cfg;
   clean_cfg.iterations = 250;
   clean_cfg.seed = 4711;
+  clean_cfg.instruments = instruments;
+  clean_cfg.obs_label = "recovery/clean";
   const eval::MissionResult clean =
       eval::run_mission(platform, platform.clean_scenario(), clean_cfg);
   std::vector<Vector> clean_trace;
@@ -78,8 +84,8 @@ int run() {
   for (const eval::IterationRecord& rec : clean.records)
     clean_trace.push_back(rec.x_true);
 
-  const Outcome without = run_one(platform, false, clean_trace);
-  const Outcome with = run_one(platform, true, clean_trace);
+  const Outcome without = run_one(platform, false, clean_trace, instruments);
+  const Outcome with = run_one(platform, true, clean_trace, instruments);
 
   std::printf("%-36s %16s %16s\n", "", "detection only", "with response");
   std::printf("%-36s %16s %16s\n", "attack detected",
@@ -106,4 +112,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

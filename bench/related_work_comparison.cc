@@ -101,7 +101,7 @@ struct CaseResult {
   bool roboads = false;
 };
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("§II-C — related-work detector classes vs misbehavior "
                "coverage",
                "RoboADS (DSN'18) §II-C / Table I");
@@ -112,6 +112,8 @@ int run() {
   eval::MissionConfig clean_cfg;
   clean_cfg.iterations = 250;
   clean_cfg.seed = 1000;
+  clean_cfg.instruments = instruments;
+  clean_cfg.obs_label = "related_work/train";
   const eval::MissionResult clean_mission =
       eval::run_mission(platform, platform.clean_scenario(), clean_cfg);
   bus::ContentEnvelopeMonitor content;
@@ -176,6 +178,8 @@ int run() {
     eval::MissionConfig cfg;
     cfg.iterations = 250;
     cfg.seed = 1000;  // same trajectory family as training
+    cfg.instruments = instruments;
+    cfg.obs_label = "related_work/" + c.label;
     const eval::MissionResult mission =
         eval::run_mission(platform, c.scenario, cfg);
     const bus::BusLog log = traffic_from(platform, mission, c.traffic);
@@ -220,6 +224,8 @@ int run() {
     eval::MissionConfig cfg;
     cfg.iterations = 250;
     cfg.seed = 3000;
+    cfg.instruments = instruments;
+    cfg.obs_label = "related_work/novel_goal";
     const eval::MissionResult mission = eval::run_mission(
         novel_platform, novel_platform.clean_scenario(), cfg);
     const bus::BusLog log = traffic_from(novel_platform, mission, {});
@@ -249,4 +255,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

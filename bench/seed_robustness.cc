@@ -8,7 +8,7 @@
 namespace roboads::bench {
 namespace {
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("Robustness — Table II battery across independent seeds",
                "reproducibility supplement to RoboADS (DSN'18) Table II");
 
@@ -20,8 +20,8 @@ int run() {
   for (std::uint64_t seed : seeds) {
     stats::ConfusionCounts total;
     for (std::size_t n = 1; n <= 11; ++n) {
-      const ScenarioRun run = run_and_score(
-          platform, platform.table2_scenario(n), seed * 1000 + n);
+      const ScenarioRun run = run_and_score(platform, platform.table2_scenario(n),
+                                            seed * 1000 + n, 250, instruments);
       total += run.score.sensor;
       total += run.score.actuator;
       for (const eval::DelayRecord& d : run.score.delays) {
@@ -69,4 +69,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

@@ -10,7 +10,7 @@
 namespace roboads::bench {
 namespace {
 
-int run() {
+int run(const obs::Instruments& instruments) {
   print_header("§V-D — Tamiya RC car scenario battery",
                "RoboADS (DSN'18) §V-D");
 
@@ -28,7 +28,7 @@ int run() {
   for (std::size_t i = 0; i < battery.size(); ++i) {
     // Scenarios hold stateful injectors: rebuild per run.
     const attacks::Scenario scenario = platform.scenario_battery()[i];
-    const ScenarioRun run = run_and_score(platform, scenario, 9000 + i);
+    const ScenarioRun run = run_and_score(platform, scenario, 9000 + i, 250, instruments);
     const eval::ScenarioScore& s = run.score;
 
     std::string delay_str;
@@ -77,4 +77,10 @@ int run() {
 }  // namespace
 }  // namespace roboads::bench
 
-int main() { return roboads::bench::run(); }
+int main(int argc, char** argv) {
+  roboads::bench::BenchObservation watch(
+      roboads::bench::parse_bench_args(argc, argv));
+  const int rc = roboads::bench::run(watch.instruments());
+  watch.finish();
+  return rc;
+}

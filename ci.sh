@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # CI entry point: build + ctest once normally, then once under
 # ThreadSanitizer (RoboADS_SANITIZE=thread) so data races in the parallel
-# engine fan-out and the batched scenario runner fail the pipeline, and once
-# under UndefinedBehaviorSanitizer (RoboADS_SANITIZE=undefined) to catch UB
-# in the numerics. Usage:
+# engine fan-out, the batched scenario runner, and the striped metrics
+# registry fail the pipeline, and once under UndefinedBehaviorSanitizer
+# (RoboADS_SANITIZE=undefined) to catch UB in the numerics. The normal pass
+# also runs the instrumented mission smoke (examples/obs_smoke): one
+# full-tracing scenario-8 run whose JSONL must parse, whose trace must show
+# a health transition, and whose roboads_report must render
+# (docs/OBSERVABILITY.md). Usage:
 #
 #   ./ci.sh            # all passes
-#   ./ci.sh normal     # plain build + ctest only
+#   ./ci.sh normal     # plain build + ctest + obs smoke only
 #   ./ci.sh tsan       # TSan build + ctest only
 #   ./ci.sh ubsan      # UBSan build + ctest only
 #
@@ -24,12 +28,24 @@ run_pass() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+# Instrumented smoke: the binary exits non-zero unless the JSONL validates,
+# the health supervisor visibly transitioned, and the report rendered.
+run_obs_smoke() {
+  local dir="$1"
+  "$dir/examples/obs_smoke" "$dir/obs_smoke_trace.jsonl" \
+    "$dir/obs_smoke_metrics.jsonl"
+}
+
 case "$MODE" in
-  normal) run_pass build ;;
+  normal)
+    run_pass build
+    run_obs_smoke build
+    ;;
   tsan)   run_pass build-tsan -DRoboADS_SANITIZE=thread ;;
   ubsan)  run_pass build-ubsan -DRoboADS_SANITIZE=undefined ;;
   all)
     run_pass build
+    run_obs_smoke build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;

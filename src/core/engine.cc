@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/timer.h"
+#include "obs/trace.h"
+
 namespace roboads::core {
 
 MultiModeEngine::MultiModeEngine(const dyn::DynamicModel& model,
@@ -24,6 +27,25 @@ MultiModeEngine::MultiModeEngine(const dyn::DynamicModel& model,
   pool_ = std::make_unique<common::ThreadPool>(
       std::min(common::ThreadPool::resolve_thread_count(config_.num_threads),
                modes_.size()));
+
+  // Resolve metric handles once; the step hot path never touches the
+  // registry mutex. With no registry attached every handle stays null and
+  // instrumentation compiles down to per-site null checks.
+  if (obs::MetricsRegistry* metrics = config_.instruments.metrics) {
+    stage_timers_ = NuiseStageTimers::resolve(metrics);
+    for (Nuise& est : estimators_) est.set_stage_timers(&stage_timers_);
+    h_step_ = &metrics->histogram("engine.step_ns",
+                                  obs::default_latency_bounds_ns());
+    c_mode_selected_.reserve(modes_.size());
+    for (const Mode& m : modes_) {
+      c_mode_selected_.push_back(
+          &metrics->counter("engine.mode_selected." + m.label));
+    }
+    c_repairs_ = &metrics->counter("engine.health_repairs");
+    c_quarantine_enter_ = &metrics->counter("engine.quarantine_enter");
+    c_containment_floor_ = &metrics->counter("engine.containment_floor");
+    g_quarantined_ = &metrics->gauge("engine.quarantined_modes");
+  }
   reset(x0, p0);
 }
 
@@ -34,6 +56,7 @@ void MultiModeEngine::reset(const Vector& x0, const Matrix& p0) {
   state_cov_ = p0;
   weights_.assign(modes_.size(), 1.0 / static_cast<double>(modes_.size()));
   health_.assign(modes_.size(), ModeHealth{});
+  step_index_ = 0;
 }
 
 EngineResult MultiModeEngine::step(const Vector& u_prev,
@@ -54,8 +77,12 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
                                         const Vector& z_full,
                                         const SensorMask* available) {
   const std::size_t m_count = modes_.size();
+  const obs::ScopedTimer step_timer(h_step_);
+  const std::size_t k = step_index_++;
   EngineResult out;
   out.per_mode.resize(m_count);
+
+  obs::TraceSink* trace = config_.instruments.trace;
 
   // Run every mode's NUISE from the shared previous estimate. Each task
   // reads only shared immutable state (x̂_{k−1|k−1}, Pˣ, u, z) and writes
@@ -77,6 +104,7 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
   std::vector<bool> quarantined(m_count, false);
   if (supervise) {
     for (std::size_t m = 0; m < m_count; ++m) {
+      const ModeHealthState before = health_[m].state;
       const SupervisionOutcome outcome = supervise_result(
           out.per_mode[m], modes_[m], *suite_, config_.health);
       if (outcome.fatal) {
@@ -89,6 +117,22 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
       // A mode still serving its quarantine cooldown stays excluded even
       // when its current result is clean.
       quarantined[m] = health_[m].quarantined();
+
+      const ModeHealthState after = health_[m].state;
+      if (outcome.repaired && c_repairs_ != nullptr) c_repairs_->increment();
+      if (after == ModeHealthState::kQuarantined &&
+          before != ModeHealthState::kQuarantined &&
+          c_quarantine_enter_ != nullptr) {
+        c_quarantine_enter_->increment();
+      }
+      if (trace != nullptr && after != before) {
+        trace->emit(obs::TraceEvent("health_transition", config_.obs_label, k)
+                        .add("mode", static_cast<std::int64_t>(m))
+                        .add("mode_label", modes_[m].label)
+                        .add("from", std::string(to_string(before)))
+                        .add("to", std::string(to_string(after)))
+                        .add("detail", outcome.detail));
+      }
     }
   }
   std::size_t active_count = 0;
@@ -111,6 +155,12 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
     out.fallback_previous_estimate = true;
     out.mode_health.assign(m_count, ModeHealthState::kDegraded);
     out.quarantined_modes = 0;
+    if (c_containment_floor_ != nullptr) c_containment_floor_->increment();
+    if (g_quarantined_ != nullptr) g_quarantined_->set(0.0);
+    if (trace != nullptr) {
+      trace->emit(obs::TraceEvent("containment_floor", config_.obs_label, k)
+                      .add("modes", static_cast<std::int64_t>(m_count)));
+    }
     return out;
   }
 
@@ -186,6 +236,12 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
     out.mode_health[m] =
         supervise ? health_[m].state : ModeHealthState::kHealthy;
     if (quarantined[m]) ++out.quarantined_modes;
+  }
+  if (!c_mode_selected_.empty()) {
+    c_mode_selected_[out.selected_mode]->increment();
+  }
+  if (g_quarantined_ != nullptr) {
+    g_quarantined_->set(static_cast<double>(out.quarantined_modes));
   }
   return out;
 }

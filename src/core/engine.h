@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "core/health.h"
 #include "core/nuise.h"
+#include "obs/obs.h"
 
 namespace roboads::core {
 
@@ -47,6 +48,19 @@ struct EngineConfig {
   // healthy results, so supervised output is bit-identical to the
   // unsupervised engine whenever nothing actually fails.
   HealthConfig health;
+
+  // Observability handles (obs/obs.h; docs/OBSERVABILITY.md). Null members
+  // (the default) disable instrumentation: the engine then takes one
+  // pointer-null branch per site and its outputs stay bit-identical — the
+  // checked-in golden traces prove it. With metrics attached the engine
+  // records step latency, NUISE stage timers, mode-selection counters and
+  // fault/quarantine tallies; with a trace sink attached it emits
+  // "health_transition" and "containment_floor" events. Observation never
+  // feeds back into estimation.
+  obs::Instruments instruments;
+  // Mission/job label stamped onto emitted trace events so batched sweeps
+  // sharing one sink stay attributable.
+  std::string obs_label;
 };
 
 struct EngineResult {
@@ -113,6 +127,18 @@ class MultiModeEngine {
   Matrix state_cov_;
   std::vector<double> weights_;  // normalized
   std::vector<ModeHealth> health_;
+
+  // --- Observability handles, resolved once at construction (all null when
+  // config_.instruments.metrics is null; the hot path then only pays the
+  // null checks). Handles stay valid for the registry's lifetime.
+  NuiseStageTimers stage_timers_;
+  obs::Histogram* h_step_ = nullptr;              // engine.step_ns
+  std::vector<obs::Counter*> c_mode_selected_;    // engine.mode_selected.<label>
+  obs::Counter* c_repairs_ = nullptr;             // engine.health_repairs
+  obs::Counter* c_quarantine_enter_ = nullptr;    // engine.quarantine_enter
+  obs::Counter* c_containment_floor_ = nullptr;   // engine.containment_floor
+  obs::Gauge* g_quarantined_ = nullptr;           // engine.quarantined_modes
+  std::size_t step_index_ = 0;  // iteration counter for trace events
 };
 
 }  // namespace roboads::core

@@ -17,6 +17,15 @@ const char* to_string(ModeHealthState state) {
   return "?";
 }
 
+char code(ModeHealthState state) {
+  switch (state) {
+    case ModeHealthState::kHealthy: return 'H';
+    case ModeHealthState::kDegraded: return 'D';
+    case ModeHealthState::kQuarantined: return 'Q';
+  }
+  return '?';
+}
+
 void ModeHealth::on_clean(const HealthConfig& cfg) {
   ++clean_streak;
   if (state == ModeHealthState::kQuarantined &&

@@ -56,6 +56,9 @@ struct HealthConfig {
 enum class ModeHealthState { kHealthy, kDegraded, kQuarantined };
 
 const char* to_string(ModeHealthState state);
+// Single-letter code ('H'/'D'/'Q') — the compact per-mode health string in
+// the observability trace (obs/trace.h, docs/OBSERVABILITY.md).
+char code(ModeHealthState state);
 
 // Per-mode health record driven by the engine each iteration.
 struct ModeHealth {

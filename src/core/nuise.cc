@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "matrix/decomp.h"
+#include "obs/timer.h"
 #include "stats/gaussian.h"
 
 namespace roboads::core {
+
+NuiseStageTimers NuiseStageTimers::resolve(obs::MetricsRegistry* metrics) {
+  NuiseStageTimers t;
+  if (metrics == nullptr) return t;
+  t.input_estimation = &metrics->histogram("nuise.input_estimation_ns");
+  t.predict = &metrics->histogram("nuise.predict_ns");
+  t.correct = &metrics->histogram("nuise.correct_ns");
+  t.sensor_anomaly = &metrics->histogram("nuise.sensor_anomaly_ns");
+  t.likelihood = &metrics->histogram("nuise.likelihood_ns");
+  return t;
+}
 
 Nuise::Nuise(const dyn::DynamicModel& model,
              const sensors::SensorSuite& suite, Mode mode, Matrix process_cov)
@@ -78,6 +90,8 @@ NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
   out.degraded = true;
   out.active_testing = tst;
 
+  obs::SplitTimer split(timers_ != nullptr && timers_->any());
+
   // Propagate through the kinematics with the planned (uncompensated)
   // input: with no reference readings there is no innovation to estimate
   // d̂ᵃ from, so the best available state is the open-loop prediction.
@@ -91,6 +105,7 @@ NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
   out.actuator_anomaly = Vector(q);
   out.actuator_anomaly_cov = Matrix::identity(q);
   out.actuator_identifiable = false;
+  split.lap(timers_ != nullptr ? timers_->predict : nullptr);
 
   // Testing sensors that did arrive are still screened against the
   // prediction; the wider Pˣ of the open-loop step is accounted for in the
@@ -103,6 +118,7 @@ NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
     out.sensor_anomaly_cov =
         (c1 * out.state_cov * c1.transpose() + r1).symmetrized();
   }
+  split.lap(timers_ != nullptr ? timers_->sensor_anomaly : nullptr);
   out.log_likelihood = 0.0;  // placeholder; flagged uninformative
   return out;
 }
@@ -118,6 +134,8 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
   ROBOADS_CHECK(p_prev.rows() == n && p_prev.cols() == n,
                 "previous covariance shape mismatch");
   ROBOADS_CHECK_EQ(u_prev.size(), q, "control size mismatch");
+
+  obs::SplitTimer split(timers_ != nullptr && timers_->any());
 
   const Matrix a = model_.jacobian_state(x_prev, u_prev);
   const Matrix g = model_.jacobian_input(x_prev, u_prev);
@@ -151,6 +169,7 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
   out.actuator_anomaly = m2 * resid_bare;
   out.actuator_anomaly_cov =
       (m2 * r_star * m2.transpose()).symmetrized();
+  split.lap(timers_ != nullptr ? timers_->input_estimation : nullptr);
 
   // --- Step 2: state prediction with compensation (lines 7-10). ---
   // The compensated input is clamped to the actuator's physical range: an
@@ -193,6 +212,7 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
                            .symmetrized();
   const Matrix p_pred =
       (a_bar * p_prev * a_bar.transpose() + q_bar).symmetrized();
+  split.lap(timers_ != nullptr ? timers_->predict : nullptr);
 
   // --- Step 3: state estimation (lines 11-14). ---
   // Relinearize h₂ at the compensated prediction.
@@ -220,6 +240,7 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
                    ilc * u_cross * gain.transpose() -
                    gain * u_cross.transpose() * ilc.transpose())
                       .symmetrized();
+  split.lap(timers_ != nullptr ? timers_->correct : nullptr);
 
   // --- Step 4: testing-sensor anomaly estimation (lines 15-16). ---
   if (!tst.empty()) {
@@ -230,12 +251,14 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
     out.sensor_anomaly_cov =
         (c1 * out.state_cov * c1.transpose() + r1).symmetrized();
   }
+  split.lap(timers_ != nullptr ? timers_->sensor_anomaly : nullptr);
 
   // --- Mode likelihood (lines 17-20). ---
   out.innovation = innovation;
   out.innovation_cov = innov_cov;
   out.log_likelihood =
       stats::degenerate_gaussian_log_pdf(innovation, innov_cov);
+  split.lap(timers_ != nullptr ? timers_->likelihood : nullptr);
   return out;
 }
 

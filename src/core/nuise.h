@@ -25,9 +25,31 @@
 #include "core/mode.h"
 #include "dynamics/model.h"
 #include "matrix/matrix.h"
+#include "obs/metrics.h"
 #include "sensors/sensor_model.h"
 
 namespace roboads::core {
+
+// Hot-path stage timers for one NUISE iteration (obs/timer.h). The engine
+// resolves one shared set from its metrics registry and hands every
+// estimator a pointer; all members null (or a null struct pointer) disables
+// timing entirely. Histograms are lock-free, so the per-mode fan-out can
+// record concurrently.
+struct NuiseStageTimers {
+  obs::Histogram* input_estimation = nullptr;  // Step 1: d̂ᵃ estimation
+  obs::Histogram* predict = nullptr;           // Step 2: compensated predict
+  obs::Histogram* correct = nullptr;           // Step 3: state update
+  obs::Histogram* sensor_anomaly = nullptr;    // Step 4: d̂ˢ estimation
+  obs::Histogram* likelihood = nullptr;        // line 20: mode likelihood
+
+  bool any() const {
+    return input_estimation != nullptr || predict != nullptr ||
+           correct != nullptr || sensor_anomaly != nullptr ||
+           likelihood != nullptr;
+  }
+  // Null-safe: a null registry yields all-null timers.
+  static NuiseStageTimers resolve(obs::MetricsRegistry* metrics);
+};
 
 // Per-suite-sensor availability for one iteration: available[i] is true when
 // sensor i's reading arrived on the bus (see sim/faults.h). An empty mask
@@ -103,6 +125,10 @@ class Nuise {
                    const Vector& u_prev, const Vector& z_full,
                    const SensorMask& available) const;
 
+  // Attaches per-stage latency histograms (nullptr detaches; the pointee
+  // must outlive the estimator). Observation only — outputs are untouched.
+  void set_stage_timers(const NuiseStageTimers* timers) { timers_ = timers; }
+
  private:
   // The full estimation pass over explicit reference/testing subsets; the
   // public entry points select the subsets.
@@ -120,6 +146,7 @@ class Nuise {
   const sensors::SensorSuite& suite_;
   Mode mode_;
   Matrix process_cov_;
+  const NuiseStageTimers* timers_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace roboads::core

@@ -1,5 +1,11 @@
 #include "core/roboads.h"
 
+#include <cmath>
+#include <limits>
+
+#include "obs/timer.h"
+#include "obs/trace.h"
+
 namespace roboads::core {
 namespace {
 
@@ -18,7 +24,16 @@ RoboAds::RoboAds(const dyn::DynamicModel& model,
     : suite_(suite),
       engine_(model, suite, default_modes(suite, std::move(modes)),
               process_cov, x0, p0, config.engine),
-      decision_maker_(suite, config.decision) {}
+      decision_maker_(suite, config.decision),
+      instruments_(config.engine.instruments),
+      obs_label_(config.engine.obs_label) {
+  if (obs::MetricsRegistry* metrics = instruments_.metrics) {
+    h_decision_ = &metrics->histogram("decision.evaluate_ns",
+                                      obs::default_latency_bounds_ns());
+    c_sensor_alarms_ = &metrics->counter("detector.sensor_alarms");
+    c_actuator_alarms_ = &metrics->counter("detector.actuator_alarms");
+  }
+}
 
 void RoboAds::reset(const Vector& x0, const Matrix& p0) {
   engine_.reset(x0, p0);
@@ -74,7 +89,10 @@ DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full,
   report.mode_weights = engine_result.mode_weights;
   report.state_estimate = selected.state;
   report.state_covariance = selected.state_cov;
-  report.decision = decision_maker_.evaluate(mode, selected);
+  {
+    const obs::ScopedTimer decision_timer(h_decision_);
+    report.decision = decision_maker_.evaluate(mode, selected);
+  }
   report.selected_result = selected;
   report.actuator_anomaly = selected.actuator_anomaly;
   report.mode_health = engine_result.mode_health;
@@ -91,7 +109,72 @@ DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full,
         selected.sensor_anomaly.segment(at, dim);
     at += dim;
   }
+
+  if (c_sensor_alarms_ != nullptr && report.decision.sensor_alarm) {
+    c_sensor_alarms_->increment();
+  }
+  if (c_actuator_alarms_ != nullptr && report.decision.actuator_alarm) {
+    c_actuator_alarms_->increment();
+  }
+  if (instruments_.trace != nullptr) {
+    emit_iteration_event(report, engine_result);
+  }
   return report;
+}
+
+// The per-iteration trace record (docs/OBSERVABILITY.md). Emitted from the
+// serial detector path after the engine join, so event order is
+// deterministic at any engine thread count. Field layout must be identical
+// across iterations of one run — the CSV writer derives its columns from the
+// first event (obs/trace.cc).
+void RoboAds::emit_iteration_event(const DetectionReport& report,
+                                   const EngineResult& engine_result) {
+  const std::size_t m_count = engine_.modes().size();
+  std::vector<double> log_likelihoods(m_count);
+  std::vector<double> innovation_norms(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const NuiseResult& r = engine_result.per_mode[m];
+    log_likelihoods[m] = r.likelihood_informative
+                             ? r.log_likelihood
+                             : std::numeric_limits<double>::quiet_NaN();
+    innovation_norms[m] = r.correction_applied
+                              ? r.innovation.norm()
+                              : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  std::string health_codes(report.mode_health.size(), 'H');
+  for (std::size_t m = 0; m < report.mode_health.size(); ++m) {
+    health_codes[m] = code(report.mode_health[m]);
+  }
+  std::string availability(suite_.count(), '1');
+  for (std::size_t i = 0;
+       i < report.sensor_available.size() && i < availability.size(); ++i) {
+    if (!report.sensor_available[i]) availability[i] = '0';
+  }
+  std::string misbehaving;
+  for (std::size_t s : report.decision.misbehaving_sensors) {
+    if (!misbehaving.empty()) misbehaving += ';';
+    misbehaving += std::to_string(s);
+  }
+
+  obs::TraceEvent ev("iteration", obs_label_, report.iteration);
+  ev.add("selected_mode", static_cast<std::int64_t>(report.selected_mode));
+  ev.add("selected_label", report.selected_mode_label);
+  ev.add("mode_weights", report.mode_weights);
+  ev.add("log_likelihoods", std::move(log_likelihoods));
+  ev.add("innovation_norms", std::move(innovation_norms));
+  ev.add("sensor_chi2", report.decision.sensor_statistic);
+  ev.add("sensor_threshold", report.decision.sensor_threshold);
+  ev.add("sensor_alarm", report.decision.sensor_alarm);
+  ev.add("actuator_chi2", report.decision.actuator_statistic);
+  ev.add("actuator_threshold", report.decision.actuator_threshold);
+  ev.add("actuator_alarm", report.decision.actuator_alarm);
+  ev.add("mode_health", std::move(health_codes));
+  ev.add("quarantined", static_cast<std::int64_t>(report.quarantined_modes));
+  ev.add("availability", std::move(availability));
+  ev.add("misbehaving", std::move(misbehaving));
+  ev.add("containment_floor", engine_result.fallback_previous_estimate);
+  instruments_.trace->emit(std::move(ev));
 }
 
 }  // namespace roboads::core

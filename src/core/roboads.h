@@ -17,6 +17,9 @@ namespace roboads::core {
 struct RoboAdsConfig {
   EngineConfig engine;
   DecisionConfig decision;
+  // Observability is configured once on `engine.instruments` /
+  // `engine.obs_label`; the detector shares those handles for its own
+  // per-iteration trace events, alarm counters, and decision timer.
 };
 
 // Everything RoboADS reports for one control iteration.
@@ -77,10 +80,23 @@ class RoboAds {
   void reset(const Vector& x0, const Matrix& p0);
 
  private:
+  void emit_iteration_event(const DetectionReport& report,
+                            const EngineResult& engine_result);
+
   const sensors::SensorSuite& suite_;
   MultiModeEngine engine_;
   DecisionMaker decision_maker_;
   std::size_t iteration_ = 0;
+
+  // Observability (shared with the engine via config.engine.instruments;
+  // all null when disabled). The "iteration" trace event is the detector's
+  // per-step record: per-mode weights/likelihoods/innovation norms, χ²
+  // statistics and alarms, availability mask, and mode-health codes.
+  obs::Instruments instruments_;
+  std::string obs_label_;
+  obs::Histogram* h_decision_ = nullptr;   // decision.evaluate_ns
+  obs::Counter* c_sensor_alarms_ = nullptr;
+  obs::Counter* c_actuator_alarms_ = nullptr;
 };
 
 }  // namespace roboads::core

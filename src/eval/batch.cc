@@ -34,7 +34,19 @@ std::vector<MissionJobResult> run_mission_batch(
           const attacks::Scenario scenario = jobs[i].make_scenario();
           out.name = jobs[i].name.empty() ? scenario.name() : jobs[i].name;
           fail.scenario = scenario.name();
-          out.result = run_mission(platform, scenario, jobs[i].config);
+          // Sweep-level observability: jobs without their own handles
+          // inherit the runner's shared registry/sink, labeled
+          // "<job>/s<seed>" so interleaved missions stay attributable.
+          MissionConfig mission_config = jobs[i].config;
+          if (!mission_config.instruments.enabled() &&
+              config.instruments.enabled()) {
+            mission_config.instruments = config.instruments;
+            if (mission_config.obs_label.empty()) {
+              mission_config.obs_label =
+                  out.name + "/s" + std::to_string(mission_config.seed);
+            }
+          }
+          out.result = run_mission(platform, scenario, mission_config);
           out.score = score_mission(out.result, platform);
         } catch (const MissionError& e) {
           fail.name = out.name;

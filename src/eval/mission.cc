@@ -1,6 +1,8 @@
 #include "eval/mission.h"
 
 #include "eval/recovery.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace roboads::eval {
 
@@ -22,8 +24,28 @@ MissionResult run_mission(const Platform& platform,
                                                        suite);
   }
 
-  const core::RoboAdsConfig detector_config =
+  core::RoboAdsConfig detector_config =
       config.detector_override.value_or(platform.detector_config());
+  // Thread the mission's observability handles into the detector so engine
+  // timers and trace events land in the same registry/sink as the mission's
+  // own records. Mission-level handles win over any the override carried.
+  if (config.instruments.enabled()) {
+    detector_config.engine.instruments = config.instruments;
+    detector_config.engine.obs_label = config.obs_label;
+  }
+  obs::Histogram* h_iteration = nullptr;
+  if (obs::MetricsRegistry* metrics = config.instruments.metrics) {
+    h_iteration = &metrics->histogram("mission.iteration_ns",
+                                      obs::default_latency_bounds_ns());
+  }
+  obs::TraceSink* trace = config.instruments.trace;
+  if (trace != nullptr) {
+    trace->emit(obs::TraceEvent("mission_start", config.obs_label, 0)
+                    .add("scenario", scenario.name())
+                    .add("seed", static_cast<std::int64_t>(config.seed))
+                    .add("iterations",
+                         static_cast<std::int64_t>(config.iterations)));
+  }
   const Matrix p0 = Matrix::identity(model.state_dim()) * 1e-4;
 
   // §V-G baseline: freeze the linearization at the mission start. The
@@ -68,6 +90,7 @@ MissionResult run_mission(const Platform& platform,
   }
 
   for (std::size_t k = 1; k <= config.iterations; ++k) {
+    const obs::ScopedTimer iteration_timer(h_iteration);
     IterationRecord rec;
     rec.k = k;
     try {
@@ -109,6 +132,30 @@ MissionResult run_mission(const Platform& platform,
   const Vector final_state = simulator.state();
   result.goal_reached =
       geom::distance({final_state[0], final_state[1]}, platform.goal()) < 0.2;
+  if (obs::MetricsRegistry* metrics = config.instruments.metrics) {
+    metrics->counter("mission.iterations").increment(result.records.size());
+    metrics->counter("mission.frames_dropped")
+        .increment(result.frames_dropped);
+    metrics->counter("mission.frames_stale").increment(result.frames_stale);
+    metrics->counter("mission.frames_duplicated")
+        .increment(result.frames_duplicated);
+    metrics->counter("mission.frames_frozen").increment(result.frames_frozen);
+  }
+  if (trace != nullptr) {
+    trace->emit(
+        obs::TraceEvent("mission_end", config.obs_label,
+                        result.records.size())
+            .add("goal_reached", result.goal_reached)
+            .add("iterations_run",
+                 static_cast<std::int64_t>(result.records.size()))
+            .add("frames_dropped",
+                 static_cast<std::int64_t>(result.frames_dropped))
+            .add("frames_stale", static_cast<std::int64_t>(result.frames_stale))
+            .add("frames_duplicated",
+                 static_cast<std::int64_t>(result.frames_duplicated))
+            .add("frames_frozen",
+                 static_cast<std::int64_t>(result.frames_frozen)));
+  }
   return result;
 }
 

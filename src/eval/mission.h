@@ -11,6 +11,7 @@
 
 #include "core/linear_baseline.h"
 #include "eval/platform.h"
+#include "obs/obs.h"
 #include "sim/faults.h"
 
 namespace roboads::eval {
@@ -33,6 +34,17 @@ struct MissionConfig {
   // bypassed entirely — the mission is bit-identical to the pre-fault-layer
   // runner.
   sim::TransportFaultConfig transport_faults;
+
+  // Observability handles (obs/obs.h; null = off, zero overhead). When set
+  // they are threaded into the detector (engine step/stage timers, trace
+  // events) and the mission loop itself ("mission_start"/"mission_end"
+  // events, per-iteration latency, transport-fault tallies). Overrides
+  // whatever `detector_override` carries, so batch sweeps can attach one
+  // shared sink across platform-default configs.
+  obs::Instruments instruments;
+  // Label stamped on this mission's trace events; batch runners set it to
+  // "<scenario>/s<seed>" so interleaved missions stay attributable.
+  std::string obs_label;
 };
 
 // Thrown when a mission aborts mid-run: carries the 1-based control

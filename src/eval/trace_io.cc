@@ -18,6 +18,11 @@ void write_trace_csv(std::ostream& os, const MissionResult& result,
   const sensors::SensorSuite& suite = platform.suite();
   const IterationRecord& first = result.records.front();
 
+  // Schema-version comment: consumers (and the golden-trace test) skip
+  // '#'-prefixed lines; bump kTraceSchemaVersion whenever the column layout
+  // changes so downstream plotting scripts can fail fast on stale files.
+  os << "# roboads-mission-trace v" << kTraceSchemaVersion << "\n";
+
   // Header.
   os << "t";
   for (std::size_t i = 0; i < first.x_true.size(); ++i) os << ",x_true_" << i;
@@ -68,7 +73,11 @@ void write_trace_csv(const std::string& path, const MissionResult& result,
   std::ofstream file(path);
   ROBOADS_CHECK(file.good(), "cannot open trace file '" + path + "'");
   write_trace_csv(file, result, platform);
-  ROBOADS_CHECK(file.good(), "error writing trace file '" + path + "'");
+  // Flush explicitly and test failbit/badbit: a full disk or yanked mount
+  // otherwise surfaces only at destructor time, where it is silently
+  // swallowed and the truncated trace looks complete.
+  file.flush();
+  ROBOADS_CHECK(!file.fail(), "error writing trace file '" + path + "'");
 }
 
 }  // namespace roboads::eval

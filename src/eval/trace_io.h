@@ -9,6 +9,10 @@
 
 namespace roboads::eval {
 
+// Version of the exported column layout, emitted as a leading
+// "# roboads-mission-trace vN" comment line. Bump on any layout change.
+inline constexpr int kTraceSchemaVersion = 2;
+
 // Column layout (one row per control iteration):
 //   t, x_true..., u_planned..., u_executed...,
 //   state_estimate..., selected_mode,

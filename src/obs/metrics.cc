@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace roboads::obs {
+namespace internal {
+
+std::size_t this_thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricStripes - 1);
+  return id;
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  ROBOADS_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    ROBOADS_CHECK(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly ascending");
+  }
+  for (Stripe& s : stripes_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::record(double v) {
+  // First bucket whose upper bound admits v; everything past the last bound
+  // lands in the overflow bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Stripe& s = stripes_[internal::this_thread_stripe()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  internal::atomic_add(s.sum, v);
+  internal::atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Stripe& s : stripes_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Stripe& s : stripes_) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+double Histogram::quantile(double q) const {
+  ROBOADS_CHECK(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= target) {
+      return b < bounds_.size() ? bounds_[b] : max();
+    }
+  }
+  return max();
+}
+
+const std::vector<double>& default_latency_bounds_ns() {
+  static const std::vector<double> bounds = {
+      250.0, 500.0, 1e3,   2.5e3, 5e3,   1e4,   2.5e4, 5e4,   1e5,
+      2.5e5, 5e5,   1e6,   2.5e6, 5e6,   1e7,   2.5e7, 5e7,   1e8,
+      2.5e8, 1e9};
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.value = static_cast<double>(h->count());
+    s.sum = h->sum();
+    s.mean = h->mean();
+    s.p50 = h->quantile(0.50);
+    s.p90 = h->quantile(0.90);
+    s.p99 = h->quantile(0.99);
+    s.max = h->max();
+    s.bounds = h->bounds();
+    s.buckets = h->bucket_counts();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  for (const MetricSample& s : snapshot()) {
+    os << "{\"metric\":";
+    json::write_escaped(os, s.name);
+    os << ",\"kind\":\"";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: os << "counter"; break;
+      case MetricSample::Kind::kGauge: os << "gauge"; break;
+      case MetricSample::Kind::kHistogram: os << "histogram"; break;
+    }
+    os << "\",\"value\":";
+    json::write_number(os, s.value);
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      os << ",\"sum\":";
+      json::write_number(os, s.sum);
+      os << ",\"mean\":";
+      json::write_number(os, s.mean);
+      os << ",\"p50\":";
+      json::write_number(os, s.p50);
+      os << ",\"p90\":";
+      json::write_number(os, s.p90);
+      os << ",\"p99\":";
+      json::write_number(os, s.p99);
+      os << ",\"max\":";
+      json::write_number(os, s.max);
+      os << ",\"buckets\":[";
+      for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        if (b > 0) os << ',';
+        os << s.buckets[b];
+      }
+      os << ']';
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace roboads::obs

@@ -1,0 +1,187 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket latency
+// histograms shared by every instrumented component (docs/OBSERVABILITY.md).
+//
+// Design constraints, in order:
+//
+//   1. The *disabled* path must cost nothing — components hold nullptr
+//      handles and every instrumentation site guards on them, so an
+//      uninstrumented run never touches this file's code.
+//   2. The *enabled* hot path must be lock-free and contention-free enough
+//      to run inside the per-mode NUISE fan-out (common::ThreadPool
+//      workers): counters and histograms stripe their cells across
+//      cache-line-padded atomic slots indexed by a per-thread id, so
+//      concurrent recorders land on distinct cache lines and the relaxed
+//      atomic add is the entire cost. Reads (report rendering, snapshots)
+//      sum across stripes; increments are never lost, so concurrent
+//      increments sum exactly (tests/obs_test.cc).
+//   3. Handle lookup (by name) takes a registry mutex and is meant for
+//      construction time only — components resolve their handles once and
+//      keep the pointers; metric objects are never invalidated while the
+//      registry lives.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace roboads::obs {
+
+// Stripe count for counters/histograms (power of two). Sized well past the
+// mode-level fan-out of the bundled platforms; threads beyond it share
+// stripes correctly, just with more cache-line traffic.
+inline constexpr std::size_t kMetricStripes = 16;
+
+namespace internal {
+
+// Stable small id for the calling thread, assigned on first use.
+std::size_t this_thread_stripe();
+
+// C++20 atomic<double>::fetch_add may lower to a CAS loop anyway; spell the
+// loop out so the code does not depend on the library shipping the overload.
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace internal
+
+// Monotonic event counter.
+class Counter {
+ public:
+  // Lock-free fast path: one relaxed add on the caller's stripe.
+  void increment(std::uint64_t n = 1) {
+    stripes_[internal::this_thread_stripe()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  // Exact sum across stripes (increments are never dropped).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const internal::PaddedU64& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<internal::PaddedU64, kMetricStripes> stripes_;
+};
+
+// Last-write-wins scalar (e.g. "quarantined modes right now").
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket i counts samples v with v <= bounds[i]
+// (first matching bucket); an implicit overflow bucket catches the rest.
+// Recording is lock-free: bucket counts live in striped atomic cells, and
+// the running sum/max use striped CAS adds, so concurrent recorders from
+// the thread pool never serialize on a lock.
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double max() const;
+  double mean() const { return count() == 0 ? 0.0 : sum() / count(); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  // Upper-bound estimate of the q-quantile (q in [0, 1]) from the bucket
+  // counts: the upper edge of the bucket holding the q-th sample, with the
+  // recorded max standing in for the open overflow bucket.
+  double quantile(double q) const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Stripe, kMetricStripes> stripes_;
+  std::atomic<double> max_{0.0};
+};
+
+// Default bucket boundaries for nanosecond-scale latency timers: roughly
+// logarithmic from 250 ns to 1 s.
+const std::vector<double>& default_latency_bounds_ns();
+
+// One metric's aggregated state at snapshot time.
+struct MetricSample {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  // Counter/gauge value, or histogram count for histograms.
+  double value = 0.0;
+  // Histogram-only aggregates.
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+// Named metric store. Thread-safe; see the header comment for the intended
+// lookup-once usage pattern.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates. Returned references stay valid for the registry's
+  // lifetime. Re-registering a histogram name with different bounds keeps
+  // the original bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds =
+                           default_latency_bounds_ns());
+
+  // All metrics in name order (deterministic across runs for equal names).
+  std::vector<MetricSample> snapshot() const;
+
+  // Serializes the snapshot as JSONL, one metric object per line.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace roboads::obs

@@ -1,0 +1,78 @@
+// Detector observability layer — configuration and the owning runtime
+// bundle (docs/OBSERVABILITY.md).
+//
+// Split in two so the hot path never sees ownership:
+//
+//   * ObsConfig — the user-facing knobs. Off by default; a default config
+//     produces null Instruments and the instrumented code compiles down to
+//     pointer-null branches, leaving golden traces bit-identical.
+//   * Instruments — the non-owning handle bundle (metrics registry + trace
+//     sink pointers) threaded through EngineConfig / MissionConfig /
+//     WorkflowConfig. Copyable, cheap, null-safe.
+//   * Observability — the owner. Construct one per run (mission, bench,
+//     sweep), hand its instruments() to the configs, and call finish() at
+//     the end to write the configured JSONL/CSV artifacts. report() renders
+//     the roboads_report summary at any point.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roboads::obs {
+
+struct ObsConfig {
+  // Collect counters/gauges/latency histograms (the metrics registry).
+  bool metrics = false;
+  // Collect the structured per-iteration trace (the trace sink).
+  bool trace = false;
+
+  // Output paths written by Observability::finish(); empty = keep the data
+  // in memory only (still queryable via metrics()/trace()).
+  std::string trace_jsonl_path;
+  std::string trace_csv_path;
+  std::string metrics_jsonl_path;
+
+  bool enabled() const { return metrics || trace; }
+};
+
+// Non-owning instrumentation handles. Null members disable that aspect;
+// value-default is fully disabled. Every instrumented component treats this
+// as optional — no component ever requires observation to run.
+struct Instruments {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+
+  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+};
+
+class Observability {
+ public:
+  explicit Observability(ObsConfig config);
+
+  const ObsConfig& config() const { return config_; }
+
+  // Null members exactly where the config disabled collection.
+  Instruments instruments();
+
+  // Valid only for the aspects the config enabled.
+  MetricsRegistry& metrics();
+  TraceSink& trace();
+
+  // Writes the configured output artifacts (idempotent; flush + failbit
+  // checked, throws CheckError on I/O failure).
+  void finish();
+
+  // roboads_report text: the metrics summary plus a one-line trace tally.
+  std::string report() const;
+
+ private:
+  ObsConfig config_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceSink> trace_;
+  bool finished_ = false;
+};
+
+}  // namespace roboads::obs

@@ -1,0 +1,119 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace roboads::obs {
+namespace {
+
+constexpr char kModeSelectedPrefix[] = "engine.mode_selected.";
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::string render_report(const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.snapshot();
+  std::ostringstream os;
+  os << "== roboads_report "
+        "==============================================\n";
+
+  // --- Timers, by total recorded time. ---
+  std::vector<const MetricSample*> timers;
+  for (const MetricSample& s : samples) {
+    if (s.kind == MetricSample::Kind::kHistogram && s.value > 0) {
+      timers.push_back(&s);
+    }
+  }
+  std::sort(timers.begin(), timers.end(),
+            [](const MetricSample* a, const MetricSample* b) {
+              return a->sum != b->sum ? a->sum > b->sum : a->name < b->name;
+            });
+  os << "-- timers (by total time) --\n";
+  if (timers.empty()) os << "  (none recorded)\n";
+  for (const MetricSample* t : timers) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-34s n=%-8.0f total=%-10s mean=%-9s p50<=%-9s "
+                  "p99<=%-9s max=%s\n",
+                  t->name.c_str(), t->value, fmt_ns(t->sum).c_str(),
+                  fmt_ns(t->mean).c_str(), fmt_ns(t->p50).c_str(),
+                  fmt_ns(t->p99).c_str(), fmt_ns(t->max).c_str());
+    os << line;
+  }
+
+  // --- Mode-selection histogram. ---
+  std::vector<const MetricSample*> selections;
+  double selection_total = 0.0;
+  for (const MetricSample& s : samples) {
+    if (s.kind == MetricSample::Kind::kCounter &&
+        has_prefix(s.name, kModeSelectedPrefix)) {
+      selections.push_back(&s);
+      selection_total += s.value;
+    }
+  }
+  if (!selections.empty()) {
+    os << "-- mode selections --\n";
+    for (const MetricSample* s : selections) {
+      const double share =
+          selection_total > 0 ? s->value / selection_total : 0.0;
+      const int bar = static_cast<int>(share * 40.0 + 0.5);
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-34s %8.0f  %5.1f%% |%.*s\n",
+                    s->name.c_str() + sizeof(kModeSelectedPrefix) - 1,
+                    s->value, 100.0 * share, bar,
+                    "########################################");
+      os << line;
+    }
+  }
+
+  // --- Remaining counters (fault/quarantine/alarm tallies). ---
+  os << "-- counters --\n";
+  bool any_counter = false;
+  for (const MetricSample& s : samples) {
+    if (s.kind != MetricSample::Kind::kCounter ||
+        has_prefix(s.name, kModeSelectedPrefix)) {
+      continue;
+    }
+    any_counter = true;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-44s %12.0f\n", s.name.c_str(),
+                  s.value);
+    os << line;
+  }
+  if (!any_counter) os << "  (none recorded)\n";
+
+  // --- Gauges. ---
+  bool any_gauge = false;
+  for (const MetricSample& s : samples) {
+    if (s.kind != MetricSample::Kind::kGauge) continue;
+    if (!any_gauge) os << "-- gauges --\n";
+    any_gauge = true;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-44s %12g\n", s.name.c_str(),
+                  s.value);
+    os << line;
+  }
+
+  os << "===============================================================\n";
+  return os.str();
+}
+
+}  // namespace roboads::obs

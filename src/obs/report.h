@@ -1,0 +1,20 @@
+// End-of-run summary (`roboads_report`): renders a metrics registry as a
+// human-readable block — top timers by total time, the mode-selection
+// histogram, and fault/quarantine/alarm counters — printable from any
+// mission, bench, or batch sweep (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace roboads::obs {
+
+// Formats the registry's current state. Stable section order: timers
+// (histograms, sorted by total recorded time), mode-selection counters
+// (names starting with "engine.mode_selected."), remaining counters,
+// gauges. Returns a non-empty string even for an empty registry so callers
+// can print unconditionally.
+std::string render_report(const MetricsRegistry& registry);
+
+}  // namespace roboads::obs

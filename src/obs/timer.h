@@ -1,0 +1,71 @@
+// Hot-path timing primitives for the NUISE/engine/mission instrumentation.
+//
+// Both timers are null-tolerant: constructed against a nullptr histogram
+// they never read the clock, so the disabled path costs one branch — the
+// overhead budget `bench/obs_overhead.cc` holds the library to.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace roboads::obs {
+
+inline std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// RAII scope timer: records the enclosing scope's wall time (ns) into the
+// histogram on destruction. Nests freely — each instance owns its own start
+// stamp, so an inner timer never perturbs an outer one beyond its own cost.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h)
+      : histogram_(h), start_ns_(h != nullptr ? monotonic_ns() : 0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->record(static_cast<double>(monotonic_ns() - start_ns_));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::int64_t start_ns_;
+};
+
+// Sequential stage timer for straight-line code (the NUISE estimation
+// pipeline): one clock read per stage boundary instead of per-stage RAII
+// scopes, and no block restructuring at the call site.
+//
+//   SplitTimer split(enabled);
+//   ... stage 1 ...
+//   split.lap(h_stage1);
+//   ... stage 2 ...
+//   split.lap(h_stage2);
+//
+// Disabled, every call is a single predictable branch.
+class SplitTimer {
+ public:
+  explicit SplitTimer(bool enabled)
+      : enabled_(enabled), last_ns_(enabled ? monotonic_ns() : 0) {}
+
+  // Records the time since construction or the previous lap into `h`
+  // (null-safe) and restarts the stage clock.
+  void lap(Histogram* h) {
+    if (!enabled_) return;
+    const std::int64_t now = monotonic_ns();
+    if (h != nullptr) h->record(static_cast<double>(now - last_ns_));
+    last_ns_ = now;
+  }
+
+ private:
+  bool enabled_;
+  std::int64_t last_ns_;
+};
+
+}  // namespace roboads::obs

@@ -16,6 +16,7 @@
 
 #include "attacks/injector.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "random/rng.h"
 #include "sensors/sensor_model.h"
 #include "sim/lidar.h"
@@ -110,6 +111,10 @@ class LidarSensingWorkflow final : public SensingWorkflow {
 struct WorkflowConfig {
   // 0 = hardware concurrency, 1 = serial (no threads spawned), n = n-way.
   std::size_t num_threads = 0;
+  // Observability handles (obs/obs.h; null = off). The runner records a
+  // per-task wall-time histogram and a contained-failure counter; batch
+  // callers additionally thread the handles into each mission's config.
+  obs::Instruments instruments;
 };
 
 // One contained task failure from ScenarioBatchRunner::run_contained.
@@ -143,6 +148,8 @@ class ScenarioBatchRunner {
 
  private:
   common::ThreadPool pool_;
+  obs::Histogram* h_task_ = nullptr;      // batch.task_ns
+  obs::Counter* c_failures_ = nullptr;    // batch.task_failures
 };
 
 // The actuation workflow: planned commands in, executed commands out.

@@ -115,16 +115,25 @@ void check_against_golden(const std::string& current, const std::string& path,
   std::istringstream current_stream(current);
   std::string golden_line, current_line;
 
+  // '#'-prefixed lines are schema/version comments (eval/trace_io.h), not
+  // data: skip them on both sides so comment wording can evolve freely.
+  const auto next_data_line = [](std::istream& is, std::string& line) {
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] != '#') return true;
+    }
+    return false;
+  };
+
   // Header must match exactly: a column-layout change is a breaking change
   // to the trace format, not numeric drift.
-  ASSERT_TRUE(std::getline(golden_file, golden_line));
-  ASSERT_TRUE(std::getline(current_stream, current_line));
+  ASSERT_TRUE(next_data_line(golden_file, golden_line));
+  ASSERT_TRUE(next_data_line(current_stream, current_line));
   ASSERT_EQ(golden_line, current_line) << "trace column layout changed";
   const std::vector<std::string> columns = split_csv(golden_line);
 
   std::size_t row = 1;
-  while (std::getline(golden_file, golden_line)) {
-    ASSERT_TRUE(std::getline(current_stream, current_line))
+  while (next_data_line(golden_file, golden_line)) {
+    ASSERT_TRUE(next_data_line(current_stream, current_line))
         << "trace truncated at row " << row;
     const std::vector<std::string> golden = split_csv(golden_line);
     const std::vector<std::string> got = split_csv(current_line);
@@ -142,7 +151,7 @@ void check_against_golden(const std::string& current, const std::string& path,
     }
     ++row;
   }
-  EXPECT_FALSE(std::getline(current_stream, current_line))
+  EXPECT_FALSE(next_data_line(current_stream, current_line))
       << "trace grew past the golden file at row " << row;
   EXPECT_GE(row, min_rows) << "golden mission ended suspiciously early";
 }

@@ -1,0 +1,177 @@
+// Metrics registry unit tests (src/obs/metrics.h, obs/timer.h): exactness
+// of concurrent striped counters/histograms under the same thread pool the
+// engine fans out on, bucket-boundary semantics, timer nesting, and the
+// registry's handle-stability contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace roboads::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsFromThreadPoolSumExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.hits");
+  Counter& weighted = registry.counter("test.weighted");
+
+  // More workers than stripes, more tasks than workers: forced sharing.
+  common::ThreadPool pool(kMetricStripes + 3);
+  const std::size_t kTasks = 10000;
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    counter.increment();
+    weighted.increment(i % 7);
+  });
+
+  EXPECT_EQ(counter.value(), kTasks);
+  std::uint64_t expected_weighted = 0;
+  for (std::size_t i = 0; i < kTasks; ++i) expected_weighted += i % 7;
+  EXPECT_EQ(weighted.value(), expected_weighted);
+}
+
+TEST(Histogram, ConcurrentRecordsCountAndSumExactly) {
+  Histogram hist(std::vector<double>{10.0, 100.0, 1000.0});
+  common::ThreadPool pool(8);
+  const std::size_t kTasks = 8000;
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    hist.record(static_cast<double>(i % 2000));
+  });
+
+  EXPECT_EQ(hist.count(), kTasks);
+  double expected_sum = 0.0;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expected_sum += static_cast<double>(i % 2000);
+  }
+  // Striped sums add in nondeterministic order; allow rounding slack.
+  EXPECT_NEAR(hist.sum(), expected_sum, 1e-6 * expected_sum);
+  EXPECT_DOUBLE_EQ(hist.max(), 1999.0);
+
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t c : hist.bucket_counts()) bucketed += c;
+  EXPECT_EQ(bucketed, kTasks);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram hist(std::vector<double>{10.0, 20.0});
+  hist.record(0.0);    // bucket 0
+  hist.record(10.0);   // bucket 0: v <= bounds[0]
+  hist.record(10.5);   // bucket 1
+  hist.record(20.0);   // bucket 1: v <= bounds[1]
+  hist.record(20.5);   // overflow
+  hist.record(1e12);   // overflow
+
+  const std::vector<std::uint64_t> buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 2u);
+
+  // Quantile estimates report the covering bucket's upper edge, with the
+  // recorded max standing in for the open overflow bucket.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1e12);
+}
+
+TEST(Histogram, EmptyHistogramIsWellDefined) {
+  Histogram hist(std::vector<double>{1.0});
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("test.level");
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+}
+
+TEST(Timers, ScopedTimersNestWithoutCrossTalk) {
+  Histogram outer_h(default_latency_bounds_ns());
+  Histogram inner_h(default_latency_bounds_ns());
+  {
+    const ScopedTimer outer(&outer_h);
+    {
+      const ScopedTimer inner(&inner_h);
+      // Enough work for a measurable inner duration on any clock.
+      volatile double acc = 0.0;
+      for (int i = 1; i < 20000; ++i) acc = acc + std::sqrt(i);
+    }
+  }
+  ASSERT_EQ(outer_h.count(), 1u);
+  ASSERT_EQ(inner_h.count(), 1u);
+  // The outer scope strictly encloses the inner one.
+  EXPECT_GE(outer_h.sum(), inner_h.sum());
+  EXPECT_GE(inner_h.sum(), 0.0);
+}
+
+TEST(Timers, NullHandlesAreNoOps) {
+  const ScopedTimer scoped(nullptr);  // must not crash or read the clock
+  SplitTimer split(false);
+  split.lap(nullptr);
+  Histogram hist(default_latency_bounds_ns());
+  split.lap(&hist);  // disabled: still a no-op
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(Timers, SplitTimerRecordsOneLapPerStage) {
+  Histogram stage1(default_latency_bounds_ns());
+  Histogram stage2(default_latency_bounds_ns());
+  SplitTimer split(true);
+  volatile double acc = 0.0;
+  for (int i = 1; i < 1000; ++i) acc = acc + std::sqrt(i);
+  split.lap(&stage1);
+  for (int i = 1; i < 1000; ++i) acc = acc + std::sqrt(i);
+  split.lap(&stage2);
+  EXPECT_EQ(stage1.count(), 1u);
+  EXPECT_EQ(stage2.count(), 1u);
+  EXPECT_GE(stage1.sum(), 0.0);
+  EXPECT_GE(stage2.sum(), 0.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndFindOrCreate) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("same.name");
+  Counter& b = registry.counter("same.name");
+  EXPECT_EQ(&a, &b);
+
+  Histogram& h1 = registry.histogram("h", std::vector<double>{1.0, 2.0});
+  // Re-registering with different bounds keeps the original object.
+  Histogram& h2 = registry.histogram("h", std::vector<double>{5.0});
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h1.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndJsonlParses) {
+  MetricsRegistry registry;
+  registry.counter("z.last").increment(3);
+  registry.counter("a.first").increment();
+  registry.gauge("m.mid").set(7.0);
+  registry.histogram("h.lat").record(42.0);
+
+  const std::vector<MetricSample> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+
+  std::ostringstream os;
+  registry.write_jsonl(os);
+  std::istringstream is(os.str());
+  EXPECT_EQ(validate_jsonl(is), 4u);
+}
+
+}  // namespace
+}  // namespace roboads::obs

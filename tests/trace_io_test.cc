@@ -23,13 +23,18 @@ TEST(TraceIo, ExportsConsistentCsv) {
   write_trace_csv(os, result, platform);
   const std::string csv = os.str();
 
-  // One header line plus one row per record.
+  // One schema-version comment, one header line, one row per record.
   std::size_t lines = 0;
   for (char c : csv) lines += c == '\n' ? 1 : 0;
-  EXPECT_EQ(lines, result.records.size() + 1);
+  EXPECT_EQ(lines, result.records.size() + 2);
+
+  // Leading comment pins the exported layout version (eval/trace_io.h).
+  EXPECT_EQ(csv.rfind("# roboads-mission-trace v", 0), 0u);
 
   // Header names the per-sensor anomaly columns.
-  const std::string header = csv.substr(0, csv.find('\n'));
+  const std::size_t header_start = csv.find('\n') + 1;
+  const std::string header =
+      csv.substr(header_start, csv.find('\n', header_start) - header_start);
   EXPECT_NE(header.find("ds_ips_0"), std::string::npos);
   EXPECT_NE(header.find("ds_wheel_encoder_2"), std::string::npos);
   EXPECT_NE(header.find("ds_lidar_3"), std::string::npos);
