@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reduces google-benchmark JSON output to the compact BENCH_PERF.json map.
+
+Usage: bench_summary.py <benchmark_json_in> <summary_json_out>
+
+The summary holds one entry per benchmark: real time in nanoseconds, plus the
+iteration count the number was averaged over. Counters (modes, threads) are
+carried through when present so the engine fan-out rows stay self-describing.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+
+    summary = {
+        "context": {
+            "date": raw.get("context", {}).get("date", ""),
+            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+            "library_build_type": raw.get("context", {}).get(
+                "library_build_type", ""
+            ),
+        },
+        "benchmarks": {},
+    }
+    for b in raw.get("benchmarks", []):
+        entry = {
+            "real_time_ns": round(b["real_time"], 1),
+            "cpu_time_ns": round(b["cpu_time"], 1),
+            "iterations": b["iterations"],
+        }
+        for counter in ("modes", "threads", "missions"):
+            if counter in b:
+                entry[counter] = b[counter]
+        summary["benchmarks"][b["name"]] = entry
+
+    with open(sys.argv[2], "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_summary: wrote {len(summary['benchmarks'])} entries "
+          f"to {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,10 @@
 # (docs/OBSERVABILITY.md). Usage:
 #
 #   ./ci.sh            # all passes
-#   ./ci.sh normal     # plain build + ctest + obs smoke only
+#   ./ci.sh normal     # plain build + ctest + obs smoke + quick perf only
 #   ./ci.sh tsan       # TSan build + ctest only
 #   ./ci.sh ubsan      # UBSan build + ctest only
+#   ./ci.sh bench      # quick perf snapshot only (writes BENCH_PERF.json)
 #
 # JOBS=<n> overrides the parallelism (default: nproc).
 set -euo pipefail
@@ -36,20 +37,41 @@ run_obs_smoke() {
     "$dir/obs_smoke_metrics.jsonl"
 }
 
+# Quick perf snapshot of the detector hot path: one NUISE step, one engine
+# iteration (default mode set, plus the complete mode set at 1 and 4
+# threads), and the full detector step on both platforms. Reduced to
+# BENCH_PERF.json at the repo root (docs/PERFORMANCE.md tracks the history).
+# ~0.2 s per benchmark keeps this fast enough to run on every normal pass.
+run_bench() {
+  local dir="$1"
+  "$dir/bench/perf_nuise" \
+    --benchmark_filter='BM_NuiseStepKhepera|BM_EngineStepKhepera|BM_EngineStepCompleteModeSet/(1|4)/real_time|BM_FullDetectorStepKhepera|BM_FullDetectorStepTamiya' \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json > "$dir/bench_perf_raw.json"
+  python3 bench/bench_summary.py "$dir/bench_perf_raw.json" BENCH_PERF.json
+}
+
 case "$MODE" in
   normal)
     run_pass build
     run_obs_smoke build
+    run_bench build
     ;;
   tsan)   run_pass build-tsan -DRoboADS_SANITIZE=thread ;;
   ubsan)  run_pass build-ubsan -DRoboADS_SANITIZE=undefined ;;
+  bench)
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" --target perf_nuise
+    run_bench build
+    ;;
   all)
     run_pass build
     run_obs_smoke build
+    run_bench build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|ubsan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

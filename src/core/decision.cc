@@ -7,8 +7,7 @@ namespace roboads::core {
 
 DecisionMaker::DecisionMaker(const sensors::SensorSuite& suite,
                              DecisionConfig config)
-    : suite_(suite), config_(config),
-      per_sensor_history_(suite.count()) {
+    : suite_(suite), config_(config) {
   ROBOADS_CHECK(config_.sensor_alpha > 0.0 && config_.sensor_alpha < 1.0,
                 "sensor alpha must lie in (0,1)");
   ROBOADS_CHECK(config_.actuator_alpha > 0.0 && config_.actuator_alpha < 1.0,
@@ -19,6 +18,25 @@ DecisionMaker::DecisionMaker(const sensors::SensorSuite& suite,
   };
   check_window(config_.sensor_window);
   check_window(config_.actuator_window);
+
+  sensor_history_ = SlidingWindow(config_.sensor_window);
+  actuator_history_ = SlidingWindow(config_.actuator_window);
+  per_sensor_history_.assign(suite.count(),
+                             SlidingWindow(config_.sensor_window));
+
+  // The stacked sensor statistic has at most total_dim() degrees of freedom
+  // and the actuator statistic no more than that either (the anomaly is
+  // identified through the sensor stack), so precompute both quantile tables
+  // over that range; dof 0 is never tested and stays 0.
+  const std::size_t max_dof = suite.total_dim();
+  sensor_thresholds_.assign(max_dof + 1, 0.0);
+  actuator_thresholds_.assign(max_dof + 1, 0.0);
+  for (std::size_t dof = 1; dof <= max_dof; ++dof) {
+    sensor_thresholds_[dof] =
+        stats::chi_square_threshold(config_.sensor_alpha, dof);
+    actuator_thresholds_[dof] =
+        stats::chi_square_threshold(config_.actuator_alpha, dof);
+  }
 }
 
 void DecisionMaker::reset() {
@@ -27,13 +45,10 @@ void DecisionMaker::reset() {
   for (auto& h : per_sensor_history_) h.clear();
 }
 
-bool DecisionMaker::window_met(std::deque<bool>& history, bool positive,
-                               const SlidingWindowConfig& cfg) const {
-  history.push_back(positive);
-  while (history.size() > cfg.window) history.pop_front();
-  std::size_t count = 0;
-  for (bool b : history) count += b ? 1 : 0;
-  return count >= cfg.criteria;
+double DecisionMaker::threshold_for(const std::vector<double>& cache,
+                                    double alpha, std::size_t dof) {
+  if (dof < cache.size()) return cache[dof];
+  return stats::chi_square_threshold(alpha, dof);
 }
 
 Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
@@ -42,26 +57,24 @@ Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
   // --- Aggregate sensor test (line 10). ---
   if (!result.sensor_anomaly.empty()) {
     const std::size_t dof = result.sensor_anomaly.size();
-    d.sensor_statistic = quadratic_form(
-        inverse_spd(result.sensor_anomaly_cov), result.sensor_anomaly);
-    d.sensor_threshold = stats::chi_square_threshold(config_.sensor_alpha,
-                                                     dof);
+    const SpdFactor cov(result.sensor_anomaly_cov);
+    d.sensor_statistic = cov.quadratic_form(result.sensor_anomaly);
+    d.sensor_threshold = threshold_for(sensor_thresholds_,
+                                       config_.sensor_alpha, dof);
     d.sensor_test_positive = d.sensor_statistic > d.sensor_threshold;
   }
-  d.sensor_alarm = window_met(sensor_history_, d.sensor_test_positive,
-                              config_.sensor_window);
+  d.sensor_alarm = sensor_history_.push(d.sensor_test_positive);
 
   // --- Aggregate actuator test (line 11). ---
   {
     const std::size_t dof = result.actuator_anomaly.size();
-    d.actuator_statistic = quadratic_form(
-        inverse_spd(result.actuator_anomaly_cov), result.actuator_anomaly);
-    d.actuator_threshold =
-        stats::chi_square_threshold(config_.actuator_alpha, dof);
+    const SpdFactor cov(result.actuator_anomaly_cov);
+    d.actuator_statistic = cov.quadratic_form(result.actuator_anomaly);
+    d.actuator_threshold = threshold_for(actuator_thresholds_,
+                                         config_.actuator_alpha, dof);
     d.actuator_test_positive = d.actuator_statistic > d.actuator_threshold;
   }
-  d.actuator_alarm = window_met(actuator_history_, d.actuator_test_positive,
-                                config_.actuator_window);
+  d.actuator_alarm = actuator_history_.push(d.actuator_test_positive);
   d.actuator_anomaly = result.actuator_anomaly;
 
   // --- Per-sensor attribution (lines 12-19). ---
@@ -72,6 +85,8 @@ Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
   // outage, sim/faults.h) only the testing sensors actually stacked into
   // d̂ˢ are attributed — unavailable sensors carry no fresh evidence.
   const std::vector<std::size_t>& testing = active_testing_of(mode, result);
+  ROBOADS_CHECK_EQ(result.sensor_anomaly.size(), stacked_dim(suite_, testing),
+                   "stacked sensor anomaly does not match the testing group");
   std::vector<bool> tested(suite_.count(), false);
   std::size_t at = 0;
   for (std::size_t t : testing) {
@@ -79,12 +94,11 @@ Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
     SensorVerdict v;
     v.sensor_index = t;
     v.anomaly_estimate = result.sensor_anomaly.segment(at, dim);
-    const Matrix block = result.sensor_anomaly_cov.block(at, at, dim, dim);
-    v.statistic = quadratic_form(inverse_spd(block), v.anomaly_estimate);
-    v.threshold = stats::chi_square_threshold(config_.sensor_alpha, dim);
+    const SpdFactor block(result.sensor_anomaly_cov.block(at, at, dim, dim));
+    v.statistic = block.quadratic_form(v.anomaly_estimate);
+    v.threshold = threshold_for(sensor_thresholds_, config_.sensor_alpha, dim);
     const bool positive = v.statistic > v.threshold;
-    const bool windowed = window_met(per_sensor_history_[t], positive,
-                                     config_.sensor_window);
+    const bool windowed = per_sensor_history_[t].push(positive);
     v.misbehaving = d.sensor_alarm && windowed;
     if (v.misbehaving) d.misbehaving_sensors.push_back(t);
     d.sensor_verdicts.push_back(std::move(v));
@@ -96,7 +110,7 @@ Decision DecisionMaker::evaluate(const Mode& mode, const NuiseResult& result) {
   // stale positives from before a mode switch (or an outage) decay.
   for (std::size_t s = 0; s < suite_.count(); ++s) {
     if (!tested[s]) {
-      window_met(per_sensor_history_[s], false, config_.sensor_window);
+      per_sensor_history_[s].push(false);
     }
   }
 

@@ -11,7 +11,7 @@
 // components).
 #pragma once
 
-#include <deque>
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -22,6 +22,41 @@ namespace roboads::core {
 struct SlidingWindowConfig {
   std::size_t window = 1;    // w
   std::size_t criteria = 1;  // c (must satisfy c <= w)
+};
+
+// Fixed-capacity sliding window of boolean test outcomes (ring buffer with a
+// running positive count). Replaces the former deque-based history: pushes in
+// steady state allocate nothing, and recording an outcome is an honestly
+// non-const operation (the deque version was reached through a const method
+// that mutated the history it was passed by reference). Slots not yet pushed
+// count as negatives, matching the grow-then-trim deque semantics.
+class SlidingWindow {
+ public:
+  SlidingWindow() = default;
+  explicit SlidingWindow(const SlidingWindowConfig& cfg)
+      : buf_(cfg.window, 0), criteria_(cfg.criteria) {}
+
+  // Records the newest outcome, dropping the oldest beyond the window;
+  // returns true when at least `criteria` retained outcomes are positive.
+  bool push(bool positive) {
+    positives_ += static_cast<std::size_t>(positive);
+    positives_ -= static_cast<std::size_t>(buf_[head_] != 0);
+    buf_[head_] = positive ? 1 : 0;
+    head_ = (head_ + 1) % buf_.size();
+    return positives_ >= criteria_;
+  }
+
+  void clear() {
+    std::fill(buf_.begin(), buf_.end(), 0);
+    head_ = 0;
+    positives_ = 0;
+  }
+
+ private:
+  std::vector<unsigned char> buf_ = std::vector<unsigned char>(1, 0);
+  std::size_t criteria_ = 1;
+  std::size_t head_ = 0;
+  std::size_t positives_ = 0;
 };
 
 struct DecisionConfig {
@@ -73,15 +108,23 @@ class DecisionMaker {
   void reset();
 
  private:
-  bool window_met(std::deque<bool>& history, bool positive,
-                  const SlidingWindowConfig& cfg) const;
+  // Cached χ² quantile lookup: `cache[dof]` when precomputed, direct
+  // Newton solve beyond the precomputed range (never hit for real suites).
+  static double threshold_for(const std::vector<double>& cache, double alpha,
+                              std::size_t dof);
 
   const sensors::SensorSuite& suite_;
   DecisionConfig config_;
-  std::deque<bool> sensor_history_;
-  std::deque<bool> actuator_history_;
+  SlidingWindow sensor_history_;
+  SlidingWindow actuator_history_;
   // Per-suite-sensor positive history for stable attribution.
-  std::vector<std::deque<bool>> per_sensor_history_;
+  std::vector<SlidingWindow> per_sensor_history_;
+  // χ² thresholds per dof for the two fixed confidence levels: thresholds
+  // are pure functions of (α, dof) and α never changes after construction,
+  // so the Newton-solved quantiles are computed once instead of four times
+  // per detector iteration (formerly about half the full step cost).
+  std::vector<double> sensor_thresholds_;    // index = dof
+  std::vector<double> actuator_thresholds_;  // index = dof
 };
 
 }  // namespace roboads::core

@@ -53,9 +53,15 @@ void MultiModeEngine::reset(const Vector& x0, const Matrix& p0) {
   ROBOADS_CHECK_EQ(x0.size(), p0.rows(), "initial state/covariance mismatch");
   ROBOADS_CHECK(p0.is_symmetric(1e-8), "initial covariance must be symmetric");
   state_ = x0;
-  state_cov_ = p0;
+  // Exact symmetry in, exact symmetry out: the NUISE covariance kernels
+  // (sandwich / sym_rank_k_update) preserve exact symmetry of their inputs,
+  // and p0 is only validated to 1e-8. Symmetrizing an already exactly
+  // symmetric p0 is the identity ((a + a) / 2 == a in IEEE arithmetic).
+  state_cov_ = p0.symmetrized();
   weights_.assign(modes_.size(), 1.0 / static_cast<double>(modes_.size()));
   health_.assign(modes_.size(), ModeHealth{});
+  quarantined_scratch_.assign(modes_.size(), false);
+  log_w_scratch_.assign(modes_.size(), 0.0);
   step_index_ = 0;
 }
 
@@ -101,7 +107,8 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
 
   // --- Health supervision (serial, after the join). ---
   const bool supervise = config_.health.enabled;
-  std::vector<bool> quarantined(m_count, false);
+  std::vector<bool>& quarantined = quarantined_scratch_;
+  quarantined.assign(m_count, false);
   if (supervise) {
     for (std::size_t m = 0; m < m_count; ++m) {
       const ModeHealthState before = health_[m].state;
@@ -183,8 +190,8 @@ EngineResult MultiModeEngine::step_impl(const Vector& u_prev,
   // Serial reduction after the join: log-weights log(μ_m,k−1 · N_m,k) in
   // fixed mode order, so the floating-point accumulation below never
   // depends on scheduling.
-  std::vector<double> log_w(m_count,
-                            -std::numeric_limits<double>::infinity());
+  std::vector<double>& log_w = log_w_scratch_;
+  log_w.assign(m_count, -std::numeric_limits<double>::infinity());
   for (std::size_t m = 0; m < m_count; ++m) {
     if (quarantined[m]) continue;
     const double ll = out.per_mode[m].likelihood_informative

@@ -127,6 +127,10 @@ class MultiModeEngine {
   Matrix state_cov_;
   std::vector<double> weights_;  // normalized
   std::vector<ModeHealth> health_;
+  // Step scratch, sized once at construction so step_impl does not
+  // reallocate the reduction buffers every iteration.
+  std::vector<bool> quarantined_scratch_;
+  std::vector<double> log_w_scratch_;
 
   // --- Observability handles, resolved once at construction (all null when
   // config_.instruments.metrics is null; the hot path then only pays the

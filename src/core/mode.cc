@@ -80,4 +80,14 @@ void validate_modes(const std::vector<Mode>& modes,
   }
 }
 
+std::size_t stacked_dim(const sensors::SensorSuite& suite,
+                        const std::vector<std::size_t>& subset) {
+  std::size_t dim = 0;
+  for (std::size_t i : subset) {
+    ROBOADS_CHECK(i < suite.count(), "subset index out of range");
+    dim += suite.sensor(i).dim();
+  }
+  return dim;
+}
+
 }  // namespace roboads::core

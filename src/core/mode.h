@@ -37,4 +37,10 @@ std::vector<Mode> complete_mode_set(const sensors::SensorSuite& suite);
 void validate_modes(const std::vector<Mode>& modes,
                     const sensors::SensorSuite& suite);
 
+// Total stacked measurement dimension of a sensor subset (Σ dim over the
+// subset) — the row count of the stacked reading / Jacobian / noise
+// covariance the NUISE step assembles for that group.
+std::size_t stacked_dim(const sensors::SensorSuite& suite,
+                        const std::vector<std::size_t>& subset);
+
 }  // namespace roboads::core

@@ -35,12 +35,33 @@ Nuise::Nuise(const dyn::DynamicModel& model,
     ROBOADS_CHECK_EQ(suite_.sensor(0).state_dim(), model_.state_dim(),
                      "suite and model disagree on state dimension");
   }
+  // Exact symmetry lets the step use the mirrored-triangle covariance
+  // kernels (sandwich / add_self_adjoint) without per-use symmetrization.
+  process_cov_.symmetrize();
+
+  // Mode-invariant workspace: everything the steady-state step would
+  // otherwise rebuild per iteration.
+  ws_.r2 = suite_.noise_covariance(mode_.reference);
+  ws_.ref_angle_mask = suite_.angle_mask(mode_.reference);
+  if (!mode_.testing.empty()) {
+    ws_.r1 = suite_.noise_covariance(mode_.testing);
+    ws_.tst_angle_mask = suite_.angle_mask(mode_.testing);
+  }
+  ws_.sat = model_.input_saturation();
+  ws_.trust = model_.input_trust_radius();
+  const std::size_t q = model_.input_dim();
+  Vector trust_var(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    trust_var[i] = std::min(ws_.trust[i] * ws_.trust[i], 1e12);
+  }
+  ws_.t_prior = Matrix::diagonal(trust_var);
+  ws_.i_n = Matrix::identity(model_.state_dim());
 }
 
 NuiseResult Nuise::step(const Vector& x_prev, const Matrix& p_prev,
                         const Vector& u_prev, const Vector& z_full) const {
   return step_subsets(mode_.reference, mode_.testing, x_prev, p_prev, u_prev,
-                      z_full);
+                      z_full, /*cached=*/true);
 }
 
 NuiseResult Nuise::step(const Vector& x_prev, const Matrix& p_prev,
@@ -69,7 +90,8 @@ NuiseResult Nuise::step(const Vector& x_prev, const Matrix& p_prev,
   if (ref.empty()) {
     return predict_only(tst, x_prev, p_prev, u_prev, z_full);
   }
-  NuiseResult out = step_subsets(ref, tst, x_prev, p_prev, u_prev, z_full);
+  NuiseResult out =
+      step_subsets(ref, tst, x_prev, p_prev, u_prev, z_full, /*cached=*/false);
   out.degraded = true;
   out.active_testing = tst;
   return out;
@@ -97,8 +119,8 @@ NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
   // d̂ᵃ from, so the best available state is the open-loop prediction.
   const Matrix a = model_.jacobian_state(x_prev, u_prev);
   out.state = model_.step(x_prev, u_prev);
-  out.state_cov =
-      (a * p_prev * a.transpose() + process_cov_).symmetrized();
+  out.state_cov = sandwich(a, p_prev);
+  out.state_cov += process_cov_;
 
   // No information about the actuator this iteration: a zero estimate with
   // identity covariance makes the decision maker's χ² statistic exactly 0.
@@ -114,9 +136,8 @@ NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
     const Vector z1 = suite_.slice(tst, z_full);
     out.sensor_anomaly = suite_.residual(tst, z1, out.state);
     const Matrix c1 = suite_.jacobian(tst, out.state);
-    const Matrix r1 = suite_.noise_covariance(tst);
-    out.sensor_anomaly_cov =
-        (c1 * out.state_cov * c1.transpose() + r1).symmetrized();
+    out.sensor_anomaly_cov = sandwich(c1, out.state_cov);
+    out.sensor_anomaly_cov += suite_.noise_covariance(tst);
   }
   split.lap(timers_ != nullptr ? timers_->sensor_anomaly : nullptr);
   out.log_likelihood = 0.0;  // placeholder; flagged uninformative
@@ -126,8 +147,8 @@ NuiseResult Nuise::predict_only(const std::vector<std::size_t>& tst,
 NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
                                 const std::vector<std::size_t>& tst,
                                 const Vector& x_prev, const Matrix& p_prev,
-                                const Vector& u_prev,
-                                const Vector& z_full) const {
+                                const Vector& u_prev, const Vector& z_full,
+                                bool cached) const {
   const std::size_t n = model_.state_dim();
   const std::size_t q = model_.input_dim();
   ROBOADS_CHECK_EQ(x_prev.size(), n, "previous state size mismatch");
@@ -141,34 +162,49 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
   const Matrix g = model_.jacobian_input(x_prev, u_prev);
   const Matrix& qc = process_cov_;
 
+  // Subset-dependent structure: served from the workspace on the healthy
+  // path, rebuilt only for degraded (filtered-subset) steps.
+  Matrix r2_storage;
+  std::vector<bool> ref_mask_storage;
+  if (!cached) {
+    r2_storage = suite_.noise_covariance(ref);
+    ref_mask_storage = suite_.angle_mask(ref);
+  }
+  const Matrix& r2 = cached ? ws_.r2 : r2_storage;
+  const std::vector<bool>& ref_mask =
+      cached ? ws_.ref_angle_mask : ref_mask_storage;
+
   // --- Step 1: actuator anomaly estimation (lines 2-6). ---
   // Linearize h₂ at the uncompensated prediction f(x̂, u).
   const Vector x_bare = model_.step(x_prev, u_prev);
   const Matrix c2 = suite_.jacobian(ref, x_bare);
-  const Matrix r2 = suite_.noise_covariance(ref);
   const Vector z2 = suite_.slice(ref, z_full);
 
-  const Matrix p_tilde = (a * p_prev * a.transpose() + qc).symmetrized();
-  const Matrix r_star =
-      (c2 * p_tilde * c2.transpose() + r2).symmetrized();
-  const Matrix r_star_inv = inverse_spd(r_star);
+  Matrix p_tilde = sandwich(a, p_prev);
+  p_tilde += qc;
+  Matrix r_star = sandwich(c2, p_tilde);
+  r_star += r2;
 
   const Matrix f = c2 * g;  // how the input shows in the reference readings
-  const Matrix ft_rinv = f.transpose() * r_star_inv;
-  const Matrix gram = (ft_rinv * f).symmetrized();
+  // Fᵀ R*⁻¹ by factor-solve with F as the right-hand side — no explicit
+  // inverse (R*⁻¹ is symmetric, so (R*⁻¹F)ᵀ is exactly the product needed).
+  const SpdFactor r_star_factor(r_star);
+  const Matrix ft_rinv = r_star_factor.solve(f).transpose();
+  Matrix gram = ft_rinv * f;
+  gram.symmetrize();
 
   NuiseResult out;
-  out.actuator_identifiable = rank(gram) == q;
-  // Eigen-thresholded pseudo-inverse: when the reference group
-  // under-determines the input, this yields the minimum-norm estimate
-  // instead of amplifying a numerically-tiny pivot.
-  const Matrix gram_inv = spd_pseudo_inverse(gram);
-  const Matrix m2 = gram_inv * ft_rinv;
+  // One shared eigendecomposition answers both the identifiability question
+  // and the pseudo-inverse: when the reference group under-determines the
+  // input the eigen-thresholded pseudo-inverse yields the minimum-norm
+  // estimate instead of amplifying a numerically-tiny pivot.
+  const SpdEigenFactor gram_factor(gram);
+  out.actuator_identifiable = gram_factor.rank() == q;
+  const Matrix m2 = gram_factor.pseudo_inverse() * ft_rinv;
 
-  const Vector resid_bare = suite_.residual(ref, z2, x_bare);
+  const Vector resid_bare = suite_.residual(ref, z2, x_bare, ref_mask);
   out.actuator_anomaly = m2 * resid_bare;
-  out.actuator_anomaly_cov =
-      (m2 * r_star * m2.transpose()).symmetrized();
+  out.actuator_anomaly_cov = sandwich(m2, r_star);
   split.lap(timers_ != nullptr ? timers_->input_estimation : nullptr);
 
   // --- Step 2: state prediction with compensation (lines 7-10). ---
@@ -184,18 +220,16 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
   // suppressed instead of extrapolating tan-type nonlinearities with it and
   // poisoning the shared state. Only the compensation is shrunk — the
   // reported estimate and its χ² statistic stay untouched.
-  const Vector sat = model_.input_saturation();
-  const Vector trust = model_.input_trust_radius();
-  Vector trust_var(q);
-  for (std::size_t i = 0; i < q; ++i) {
-    trust_var[i] = std::min(trust[i] * trust[i], 1e12);
-  }
-  const Matrix t_prior = Matrix::diagonal(trust_var);
-  const Vector delta =
-      t_prior *
-      (spd_pseudo_inverse(
-           (out.actuator_anomaly_cov + t_prior).symmetrized()) *
-       out.actuator_anomaly);
+  const Vector& sat = ws_.sat;
+  const Vector& trust = ws_.trust;
+  const Matrix& t_prior = ws_.t_prior;
+  // Pᵃ + T is SPD by construction (T has strictly positive diagonal), so
+  // the shrinkage solve takes the Cholesky path; the eigen fallback only
+  // engages if Pᵃ degenerated numerically.
+  Matrix shrink_m = out.actuator_anomaly_cov;
+  shrink_m += t_prior;
+  const SpdFactor shrink(shrink_m);
+  const Vector delta = t_prior * shrink.solve(out.actuator_anomaly);
   Vector u_comp = u_prev;
   for (std::size_t i = 0; i < q; ++i) {
     const double step_i = std::clamp(delta[i], -3.0 * trust[i],
@@ -203,15 +237,14 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
     u_comp[i] = std::clamp(u_prev[i] + step_i, -sat[i], sat[i]);
   }
   const Vector x_pred = model_.step(x_prev, u_comp);
-  const Matrix i_n = Matrix::identity(n);
+  const Matrix& i_n = ws_.i_n;
   const Matrix gm2 = g * m2;
   const Matrix proj = i_n - gm2 * c2;  // (I − G M₂ C₂)
   const Matrix a_bar = proj * a;
-  const Matrix q_bar = (proj * qc * proj.transpose() +
-                        gm2 * r2 * gm2.transpose())
-                           .symmetrized();
-  const Matrix p_pred =
-      (a_bar * p_prev * a_bar.transpose() + q_bar).symmetrized();
+  Matrix q_bar = sandwich(proj, qc);
+  q_bar += sandwich(gm2, r2);
+  Matrix p_pred = sandwich(a_bar, p_prev);
+  p_pred += q_bar;
   split.lap(timers_ != nullptr ? timers_->predict : nullptr);
 
   // --- Step 3: state estimation (lines 11-14). ---
@@ -219,37 +252,48 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
   const Matrix c2p = suite_.jacobian(ref, x_pred);
   // Cross-covariance Ū = E[(x_k − x̂_{k|k−1}) ξ₂ᵀ] = −G M₂ R₂.
   const Matrix u_cross = -(gm2 * r2);
-  const Matrix innov_cov = (c2p * p_pred * c2p.transpose() + r2 +
-                            c2p * u_cross +
-                            (c2p * u_cross).transpose())
-                               .symmetrized();
+  Matrix innov_cov = sandwich(c2p, p_pred);
+  innov_cov += r2;
+  add_self_adjoint(innov_cov, c2p * u_cross);
   // The innovation covariance is *structurally* rank-deficient: the d̂ᵃ
   // compensation consumes q degrees of freedom of the reference innovation
   // (this is why line 20 of Algorithm 2 is written with pseudo-inverse and
-  // pseudo-determinant). Invert on its support only.
-  const Matrix gain = (p_pred * c2p.transpose() + u_cross) *
-                      spd_pseudo_inverse(innov_cov);
+  // pseudo-determinant). One eigendecomposition serves the support-only
+  // gain inversion here AND the rank / pseudo-determinant / Mahalanobis
+  // terms of the mode likelihood below.
+  const SpdEigenFactor innov_factor(innov_cov);
+  const Matrix gain =
+      (p_pred * c2p.transpose() + u_cross) * innov_factor.pseudo_inverse();
 
-  const Vector innovation = suite_.residual(ref, z2, x_pred);
+  const Vector innovation = suite_.residual(ref, z2, x_pred, ref_mask);
   out.state = x_pred + gain * innovation;
 
   // Generalized Joseph form: exact for any gain, keeps Pˣ symmetric PSD.
   const Matrix ilc = i_n - gain * c2p;
-  out.state_cov = (ilc * p_pred * ilc.transpose() +
-                   gain * r2 * gain.transpose() -
-                   ilc * u_cross * gain.transpose() -
-                   gain * u_cross.transpose() * ilc.transpose())
-                      .symmetrized();
+  Matrix state_cov = sandwich(ilc, p_pred);
+  state_cov += sandwich(gain, r2);
+  add_self_adjoint(state_cov, ilc * u_cross * gain.transpose(), -1.0);
+  out.state_cov = std::move(state_cov);
   split.lap(timers_ != nullptr ? timers_->correct : nullptr);
 
   // --- Step 4: testing-sensor anomaly estimation (lines 15-16). ---
   if (!tst.empty()) {
+    Matrix r1_storage;
+    std::vector<bool> tst_mask_storage;
+    if (!cached) {
+      r1_storage = suite_.noise_covariance(tst);
+      tst_mask_storage = suite_.angle_mask(tst);
+    }
+    const Matrix& r1 = cached ? ws_.r1 : r1_storage;
+    const std::vector<bool>& tst_mask =
+        cached ? ws_.tst_angle_mask : tst_mask_storage;
+
     const Vector z1 = suite_.slice(tst, z_full);
-    out.sensor_anomaly = suite_.residual(tst, z1, out.state);
+    out.sensor_anomaly = suite_.residual(tst, z1, out.state, tst_mask);
     const Matrix c1 = suite_.jacobian(tst, out.state);
-    const Matrix r1 = suite_.noise_covariance(tst);
-    out.sensor_anomaly_cov =
-        (c1 * out.state_cov * c1.transpose() + r1).symmetrized();
+    Matrix sa_cov = sandwich(c1, out.state_cov);
+    sa_cov += r1;
+    out.sensor_anomaly_cov = std::move(sa_cov);
   }
   split.lap(timers_ != nullptr ? timers_->sensor_anomaly : nullptr);
 
@@ -257,7 +301,7 @@ NuiseResult Nuise::step_subsets(const std::vector<std::size_t>& ref,
   out.innovation = innovation;
   out.innovation_cov = innov_cov;
   out.log_likelihood =
-      stats::degenerate_gaussian_log_pdf(innovation, innov_cov);
+      stats::degenerate_gaussian_log_pdf(innovation, innov_factor);
   split.lap(timers_ != nullptr ? timers_->likelihood : nullptr);
   return out;
 }

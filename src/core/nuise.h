@@ -130,12 +130,33 @@ class Nuise {
   void set_stage_timers(const NuiseStageTimers* timers) { timers_ = timers; }
 
  private:
+  // Mode-invariant structure computed once at construction and reused every
+  // iteration: noise-covariance blocks and stacked angle masks for the
+  // mode's own reference/testing subsets, plus the model's input-envelope
+  // constants and the state-sized identity. With this cache (and the
+  // inline-first matrix storage) the healthy steady-state step performs
+  // zero heap allocations — asserted by tests/nuise_alloc_test.cc.
+  struct Workspace {
+    Matrix r2;                          // R₂: noise cov, reference subset
+    Matrix r1;                          // R₁: noise cov, testing subset
+    std::vector<bool> ref_angle_mask;   // stacked over the reference subset
+    std::vector<bool> tst_angle_mask;   // stacked over the testing subset
+    Vector sat;                         // input saturation envelope
+    Vector trust;                       // input trust radius
+    Matrix t_prior;                     // diag(min(trust², 1e12))
+    Matrix i_n;                         // identity(state_dim)
+  };
+
   // The full estimation pass over explicit reference/testing subsets; the
-  // public entry points select the subsets.
+  // public entry points select the subsets. `cached` is true only when
+  // ref/tst are exactly the mode's own subsets, allowing the subset-
+  // dependent workspace entries (R₁/R₂/angle masks) to be served from the
+  // cache; degraded filtered subsets rebuild them.
   NuiseResult step_subsets(const std::vector<std::size_t>& ref,
                            const std::vector<std::size_t>& tst,
                            const Vector& x_prev, const Matrix& p_prev,
-                           const Vector& u_prev, const Vector& z_full) const;
+                           const Vector& u_prev, const Vector& z_full,
+                           bool cached) const;
 
   // Prediction-only fallback when the reference group is unavailable.
   NuiseResult predict_only(const std::vector<std::size_t>& tst,
@@ -146,6 +167,7 @@ class Nuise {
   const sensors::SensorSuite& suite_;
   Mode mode_;
   Matrix process_cov_;
+  Workspace ws_;
   const NuiseStageTimers* timers_ = nullptr;  // non-owning, may be null
 };
 

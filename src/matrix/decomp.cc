@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace roboads {
 namespace {
 
 constexpr double kSingularPivot = 1e-13;
+
+// Fills `order` (capacity kMaxInlineOrder, heap spill above) with indices
+// [0, n) sorted by `less`; the detector hot path stays allocation-free.
+constexpr std::size_t kMaxInlineOrder = 32;
+
+struct OrderBuffer {
+  std::size_t inline_buf[kMaxInlineOrder];
+  std::vector<std::size_t> heap;
+  std::size_t* get(std::size_t n) {
+    if (n <= kMaxInlineOrder) return inline_buf;
+    heap.resize(n);
+    return heap.data();
+  }
+};
 
 }  // namespace
 
@@ -138,7 +153,42 @@ Matrix Cholesky::solve(const Matrix& b) const {
   return x;
 }
 
+void Cholesky::solve_in_place(Vector& b) const {
+  ROBOADS_CHECK(ok_, "Cholesky solve on non-SPD matrix");
+  ROBOADS_CHECK_EQ(b.size(), l_.rows(), "Cholesky solve rhs size mismatch");
+  const std::size_t n = l_.rows();
+  // Forward substitution L y = b, overwriting b with y.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * b[j];
+    b[i] = acc / l_(i, i);
+  }
+  // Backward substitution L^T x = y, overwriting y with x.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * b[j];
+    b[ii] = acc / l_(ii, ii);
+  }
+}
+
 Matrix Cholesky::inverse() const { return solve(Matrix::identity(l_.rows())); }
+
+double quadratic_form_spd(const Cholesky& chol, const Vector& b) {
+  ROBOADS_CHECK(chol.ok(), "quadratic_form_spd on non-SPD matrix");
+  const Matrix& l = chol.l();
+  ROBOADS_CHECK_EQ(b.size(), l.rows(), "quadratic_form_spd size mismatch");
+  const std::size_t n = l.rows();
+  // y = L^{-1} b by forward substitution; the form is then ||y||².
+  Vector y(b);
+  double acc2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+    acc2 += y[i] * y[i];
+  }
+  return acc2;
+}
 
 double Cholesky::log_determinant() const {
   ROBOADS_CHECK(ok_, "log_determinant on non-SPD matrix");
@@ -195,9 +245,10 @@ SymmetricEigen eigen_symmetric(const Matrix& a_in, double tol) {
   }
 
   // Sort eigenpairs descending.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
+  OrderBuffer order_buf;
+  std::size_t* order = order_buf.get(n);
+  std::iota(order, order + n, std::size_t{0});
+  std::sort(order, order + n,
             [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
 
   SymmetricEigen out;
@@ -274,9 +325,10 @@ Svd svd(const Matrix& a, double tol) {
   }
 
   // Sort descending by singular value.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
+  OrderBuffer order_buf;
+  std::size_t* order = order_buf.get(n);
+  std::iota(order, order + n, std::size_t{0});
+  std::sort(order, order + n,
             [&](std::size_t i, std::size_t j) { return sigma[i] > sigma[j]; });
 
   Svd out;
@@ -353,16 +405,127 @@ Matrix inverse_spd(const Matrix& a) {
 Matrix spd_pseudo_inverse(const Matrix& a, double rel_tol) {
   ROBOADS_CHECK(a.square(), "spd_pseudo_inverse requires a square matrix");
   if (a.empty()) return a;
-  const SymmetricEigen eig = eigen_symmetric(a.symmetrized());
-  const double lam_max = std::max(eig.eigenvalues[0], 0.0);
-  const double thresh = rel_tol * std::max(lam_max, 1e-300);
-  Matrix scaled = eig.eigenvectors;  // columns scaled by 1/λ on the support
+  return SpdEigenFactor(a, rel_tol).pseudo_inverse();
+}
+
+// -------------------------------------------------------- SpdEigenFactor --
+
+SpdEigenFactor::SpdEigenFactor(const Matrix& a, double rel_tol,
+                               bool dim_scaled)
+    : eig_(eigen_symmetric(a.symmetrized())) {
+  ROBOADS_CHECK(a.square(), "SpdEigenFactor requires a square matrix");
+  const std::size_t n = dim();
+  const double lam_max = n ? std::max(eig_.eigenvalues[0], 0.0) : 0.0;
+  const double scale =
+      dim_scaled ? rel_tol * static_cast<double>(n) : rel_tol;
+  cutoff_ = scale * std::max(lam_max, 1e-300);
+  for (std::size_t i = 0; i < n; ++i)
+    if (eig_.eigenvalues[i] > cutoff_) ++rank_;
+}
+
+Matrix SpdEigenFactor::pseudo_inverse() const {
+  Matrix scaled = eig_.eigenvectors;  // columns scaled by 1/λ on the support
   for (std::size_t j = 0; j < scaled.cols(); ++j) {
-    const double lam = eig.eigenvalues[j];
-    const double inv = lam > thresh ? 1.0 / lam : 0.0;
+    const double lam = eig_.eigenvalues[j];
+    const double inv = lam > cutoff_ ? 1.0 / lam : 0.0;
     for (std::size_t i = 0; i < scaled.rows(); ++i) scaled(i, j) *= inv;
   }
-  return scaled * eig.eigenvectors.transpose();
+  Matrix out = scaled * eig_.eigenvectors.transpose();
+  out.symmetrize();
+  return out;
+}
+
+Vector SpdEigenFactor::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  ROBOADS_CHECK_EQ(b.size(), n, "SpdEigenFactor solve size mismatch");
+  // A⁺ b = Σ_{λ_i > cutoff} v_i (v_i·b) / λ_i.
+  Vector x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lam = eig_.eigenvalues[j];
+    if (lam <= cutoff_) continue;
+    double proj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) proj += eig_.eigenvectors(i, j) * b[i];
+    const double w = proj / lam;
+    for (std::size_t i = 0; i < n; ++i) x[i] += eig_.eigenvectors(i, j) * w;
+  }
+  return x;
+}
+
+double SpdEigenFactor::quadratic_form(const Vector& b) const {
+  const std::size_t n = dim();
+  ROBOADS_CHECK_EQ(b.size(), n, "SpdEigenFactor quadratic form size mismatch");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lam = eig_.eigenvalues[j];
+    if (lam <= cutoff_) continue;
+    double proj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) proj += eig_.eigenvectors(i, j) * b[i];
+    acc += proj * proj / lam;
+  }
+  return acc;
+}
+
+double SpdEigenFactor::log_pseudo_determinant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (eig_.eigenvalues[i] > cutoff_) acc += std::log(eig_.eigenvalues[i]);
+  return acc;
+}
+
+// ------------------------------------------------------------- SpdFactor --
+
+SpdFactor::SpdFactor(const Matrix& a, double rel_tol) : chol_(a) {
+  bool deficient = !chol_.ok();
+  if (!deficient) {
+    // A numerically "successful" factorization can still hide structural
+    // rank deficiency behind a rounding-noise pivot: an exactly singular
+    // matrix whose zero pivot computes to ~1e-16 passes the diag > 0 check,
+    // and a solve through that pivot amplifies the rhs by ~1e16. Distrust
+    // the factor whenever its smallest pivot is negligible against the
+    // matrix scale and use the eigen pseudo-inverse semantics instead.
+    const Matrix& l = chol_.l();
+    double scale = 0.0;
+    double min_pivot = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < l.rows(); ++j) {
+      scale = std::max(scale, std::abs(a(j, j)));
+      min_pivot = std::min(min_pivot, l(j, j) * l(j, j));
+    }
+    deficient = min_pivot <= rel_tol * scale;
+  }
+  if (deficient) eig_.emplace(a, rel_tol);
+}
+
+std::size_t SpdFactor::dim() const {
+  return eig_ ? eig_->dim() : chol_.l().rows();
+}
+
+Vector SpdFactor::solve(const Vector& b) const {
+  if (!eig_) {
+    Vector x(b);
+    chol_.solve_in_place(x);
+    return x;
+  }
+  return eig_->solve(b);
+}
+
+Matrix SpdFactor::solve(const Matrix& b) const {
+  if (!eig_) return chol_.solve(b);
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const Vector xj = eig_->solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+double SpdFactor::quadratic_form(const Vector& b) const {
+  if (!eig_) return quadratic_form_spd(chol_, b);
+  return eig_->quadratic_form(b);
+}
+
+double SpdFactor::log_determinant() const {
+  if (!eig_) return chol_.log_determinant();
+  return eig_->log_pseudo_determinant();
 }
 
 }  // namespace roboads

@@ -35,8 +35,10 @@ Vector& Vector::operator/=(double s) {
 
 Vector Vector::segment(std::size_t start, std::size_t len) const {
   ROBOADS_CHECK(start + len <= size(), "vector segment out of range");
-  return Vector(std::vector<double>(data_.begin() + start,
-                                    data_.begin() + start + len));
+  Vector out(len);
+  std::copy(data_.begin() + start, data_.begin() + start + len,
+            out.data_.begin());
+  return out;
 }
 
 void Vector::set_segment(std::size_t start, const Vector& v) {
@@ -83,9 +85,10 @@ Matrix Vector::as_row() const {
 }
 
 Vector Vector::concat(const Vector& tail) const {
-  std::vector<double> out = data_;
-  out.insert(out.end(), tail.data_.begin(), tail.data_.end());
-  return Vector(std::move(out));
+  Vector out(size() + tail.size());
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  std::copy(tail.data_.begin(), tail.data_.end(), out.data_.begin() + size());
+  return out;
 }
 
 std::string Vector::to_string() const {
@@ -100,13 +103,13 @@ Vector operator*(Vector v, double s) { return v *= s; }
 Vector operator*(double s, Vector v) { return v *= s; }
 Vector operator/(Vector v, double s) { return v /= s; }
 
-Vector operator-(Vector v) {
-  for (double& x : v.data()) x = -x;
-  return v;
-}
+Vector operator-(Vector v) { return v *= -1.0; }
 
 bool operator==(const Vector& a, const Vector& b) {
-  return a.data() == b.data();
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
 }
 
 std::ostream& operator<<(std::ostream& os, const Vector& v) {
@@ -122,10 +125,12 @@ std::ostream& operator<<(std::ostream& os, const Vector& v) {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
-  data_.reserve(rows_ * cols_);
+  data_.assign(rows_ * cols_, 0.0);
+  std::size_t i = 0;
   for (const auto& r : rows) {
     ROBOADS_CHECK_EQ(r.size(), cols_, "ragged matrix initializer");
-    data_.insert(data_.end(), r.begin(), r.end());
+    std::copy(r.begin(), r.end(), data_.begin() + i * cols_);
+    ++i;
   }
 }
 
@@ -252,12 +257,20 @@ bool Matrix::is_symmetric(double tol) const {
 }
 
 Matrix Matrix::symmetrized() const {
-  ROBOADS_CHECK(square(), "symmetrized() requires a square matrix");
-  Matrix s(rows_, cols_);
-  for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j)
-      s(i, j) = 0.5 * ((*this)(i, j) + (*this)(j, i));
+  Matrix s(*this);
+  s.symmetrize();
   return s;
+}
+
+void Matrix::symmetrize() {
+  ROBOADS_CHECK(square(), "symmetrize() requires a square matrix");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      const double m = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = m;
+      (*this)(j, i) = m;
+    }
+  }
 }
 
 Matrix Matrix::vstack(const Matrix& bottom) const {
@@ -343,6 +356,54 @@ double quadratic_form(const Matrix& m, const Vector& a) {
   ROBOADS_CHECK(m.square() && m.rows() == a.size(),
                 "quadratic form shape mismatch");
   return a.dot(m * a);
+}
+
+Matrix sandwich(const Matrix& a, const Matrix& s) {
+  ROBOADS_CHECK(s.square() && a.cols() == s.rows(),
+                "sandwich shape mismatch");
+  // as = A * S, then C = as * A^T accumulated on the lower triangle only and
+  // mirrored, so C is exactly symmetric by construction.
+  const Matrix as = a * s;
+  Matrix c(a.rows(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += as(i, k) * a(j, k);
+      c(i, j) = acc;
+      c(j, i) = acc;
+    }
+  }
+  return c;
+}
+
+void add_self_adjoint(Matrix& c, const Matrix& y, double alpha) {
+  ROBOADS_CHECK(c.square() && y.square() && c.rows() == y.rows(),
+                "add_self_adjoint shape mismatch");
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double s = alpha * (y(i, j) + y(j, i));
+      c(i, j) += s;
+      if (j != i) c(j, i) += s;
+    }
+  }
+}
+
+void sym_rank_k_update(Matrix& c, const Matrix& a, double alpha) {
+  ROBOADS_CHECK(c.square() && c.rows() == a.rows(),
+                "sym_rank_k_update shape mismatch");
+  if (&c == &a) {
+    const Matrix copy(a);
+    sym_rank_k_update(c, copy, alpha);
+    return;
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * a(j, k);
+      c(i, j) += alpha * acc;
+      if (j != i) c(j, i) += alpha * acc;
+    }
+  }
 }
 
 }  // namespace roboads

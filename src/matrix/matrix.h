@@ -2,8 +2,15 @@
 //
 // The library is deliberately small and double-only: every matrix the
 // detection system manipulates (state covariances, Jacobians, innovation
-// covariances) is tiny (< 10x10) and dense, so clarity and checked access win
+// covariances) is tiny (< 12x12) and dense, so clarity and checked access win
 // over genericity. Matrices are row-major, value types with deep copy.
+//
+// Storage is inline-first: elements up to a small fixed capacity live inside
+// the Vector/Matrix object itself and only larger workloads (LiDAR scans,
+// planner samples) spill to the heap. The detector hot path — a NUISE step on
+// any of the paper's platforms — therefore performs no heap allocation at
+// all in steady state (asserted by tests/nuise_alloc_test.cc; see
+// docs/PERFORMANCE.md).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,101 @@
 
 namespace roboads {
 
+namespace detail {
+
+// Inline-first element storage: up to `Inline` doubles in the object, heap
+// fallback above that. Value semantics; moves of inline payloads copy the
+// live elements (cheap by construction — they are small).
+template <std::size_t Inline>
+class ElementStore {
+ public:
+  ElementStore() = default;
+  ElementStore(std::size_t n, double fill) { assign(n, fill); }
+  ElementStore(const ElementStore& other) { copy_from(other); }
+  ElementStore(ElementStore&& other) noexcept { move_from(std::move(other)); }
+  ElementStore& operator=(const ElementStore& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  ElementStore& operator=(ElementStore&& other) noexcept {
+    if (this != &other) move_from(std::move(other));
+    return *this;
+  }
+
+  void assign(std::size_t n, double fill) {
+    if (n > Inline) {
+      heap_.assign(n, fill);
+    } else {
+      heap_.clear();
+      for (std::size_t i = 0; i < n; ++i) inline_[i] = fill;
+    }
+    size_ = n;
+  }
+
+  // Takes ownership of `v` (no copy when it spills to the heap).
+  void adopt(std::vector<double>&& v) {
+    if (v.size() > Inline) {
+      heap_ = std::move(v);
+      size_ = heap_.size();
+    } else {
+      heap_.clear();
+      for (std::size_t i = 0; i < v.size(); ++i) inline_[i] = v[i];
+      size_ = v.size();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double* data() { return size_ > Inline ? heap_.data() : inline_; }
+  const double* data() const {
+    return size_ > Inline ? heap_.data() : inline_;
+  }
+  double& operator[](std::size_t i) { return data()[i]; }
+  double operator[](std::size_t i) const { return data()[i]; }
+
+  double* begin() { return data(); }
+  double* end() { return data() + size_; }
+  const double* begin() const { return data(); }
+  const double* end() const { return data() + size_; }
+
+ private:
+  void copy_from(const ElementStore& other) {
+    if (other.size_ > Inline) {
+      heap_ = other.heap_;
+    } else {
+      heap_.clear();
+      for (std::size_t i = 0; i < other.size_; ++i)
+        inline_[i] = other.inline_[i];
+    }
+    size_ = other.size_;
+  }
+  void move_from(ElementStore&& other) noexcept {
+    if (other.size_ > Inline) {
+      heap_ = std::move(other.heap_);
+    } else {
+      heap_.clear();
+      for (std::size_t i = 0; i < other.size_; ++i)
+        inline_[i] = other.inline_[i];
+    }
+    size_ = other.size_;
+    other.heap_.clear();
+    other.size_ = 0;
+  }
+
+  std::size_t size_ = 0;
+  double inline_[Inline];
+  std::vector<double> heap_;
+};
+
+}  // namespace detail
+
+// Inline capacities: the largest detector-path vector is the full stacked
+// reading (10 on the Khepera — two 3-dof pose sensors plus the 4-dof LiDAR
+// nav block); the largest matrix is the all-reference innovation covariance
+// (10x10). One spare row/column of headroom each.
+inline constexpr std::size_t kVectorInlineDoubles = 16;
+inline constexpr std::size_t kMatrixInlineDoubles = 121;  // 11x11
+
 class Matrix;
 
 // A real column vector with value semantics.
@@ -25,8 +127,14 @@ class Vector {
   // Zero vector of dimension `n`.
   explicit Vector(std::size_t n) : data_(n, 0.0) {}
   Vector(std::size_t n, double fill) : data_(n, fill) {}
-  Vector(std::initializer_list<double> values) : data_(values) {}
-  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+  Vector(std::initializer_list<double> values) {
+    data_.assign(values.size(), 0.0);
+    std::size_t i = 0;
+    for (double v : values) data_[i++] = v;
+  }
+  explicit Vector(std::vector<double> values) {
+    data_.adopt(std::move(values));
+  }
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -40,8 +148,9 @@ class Vector {
     return data_[i];
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  // Raw contiguous element access (size() doubles).
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
 
   // Elementwise arithmetic. Dimensions must match.
   Vector& operator+=(const Vector& rhs);
@@ -73,7 +182,7 @@ class Vector {
   std::string to_string() const;
 
  private:
-  std::vector<double> data_;
+  detail::ElementStore<kVectorInlineDoubles> data_;
 };
 
 Vector operator+(Vector lhs, const Vector& rhs);
@@ -146,6 +255,8 @@ class Matrix {
   // Returns (A + A^T) / 2; used to keep covariance propagation symmetric in
   // the face of floating-point drift.
   Matrix symmetrized() const;
+  // In-place (A + A^T) / 2; trivially aliasing-safe.
+  void symmetrize();
 
   // Stacks `bottom` below this matrix (column counts must match).
   Matrix vstack(const Matrix& bottom) const;
@@ -157,7 +268,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  detail::ElementStore<kMatrixInlineDoubles> data_;
 };
 
 Matrix operator+(Matrix lhs, const Matrix& rhs);
@@ -173,5 +284,21 @@ std::ostream& operator<<(std::ostream& os, const Matrix& m);
 
 // a^T * M * a, the quadratic form; `M` must be square with M.rows()==a.size().
 double quadratic_form(const Matrix& m, const Vector& a);
+
+// A * S * A^T for symmetric S — the covariance-propagation "sandwich". Only
+// the lower triangle is accumulated and then mirrored, so the result is
+// exactly symmetric (no post-hoc symmetrized() pass needed) at roughly half
+// the flops of the naive triple product.
+Matrix sandwich(const Matrix& a, const Matrix& s);
+
+// c += alpha * a * a^T, the symmetric rank-k update. Accumulates the lower
+// triangle and mirrors, preserving exact symmetry of `c`. Aliasing-safe:
+// when `c` and `a` are the same object the update runs on a copy of `a`.
+void sym_rank_k_update(Matrix& c, const Matrix& a, double alpha = 1.0);
+
+// c += alpha * (y + y^T). Each mirrored element pair is accumulated from the
+// same sum, so an exactly symmetric `c` stays exactly symmetric — the
+// building block for the cross-covariance terms of the NUISE update.
+void add_self_adjoint(Matrix& c, const Matrix& y, double alpha = 1.0);
 
 }  // namespace roboads

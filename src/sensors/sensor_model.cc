@@ -112,8 +112,13 @@ std::vector<bool> SensorSuite::angle_mask(
 
 Vector SensorSuite::residual(const std::vector<std::size_t>& subset,
                              const Vector& z_subset, const Vector& x) const {
+  return residual(subset, z_subset, x, angle_mask(subset));
+}
+
+Vector SensorSuite::residual(const std::vector<std::size_t>& subset,
+                             const Vector& z_subset, const Vector& x,
+                             const std::vector<bool>& mask) const {
   Vector r = z_subset - measure(subset, x);
-  const std::vector<bool> mask = angle_mask(subset);
   ROBOADS_CHECK_EQ(r.size(), mask.size(), "residual size mismatch");
   for (std::size_t i = 0; i < r.size(); ++i) {
     if (mask[i]) r[i] = geom::wrap_angle(r[i]);

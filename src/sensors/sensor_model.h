@@ -82,6 +82,13 @@ class SensorSuite {
   Vector residual(const std::vector<std::size_t>& subset,
                   const Vector& z_subset, const Vector& x) const;
 
+  // As above, with a caller-cached stacked angle mask (from
+  // angle_mask(subset)). The estimator hot path caches the mask per mode so
+  // the steady-state residual performs no allocation.
+  Vector residual(const std::vector<std::size_t>& subset,
+                  const Vector& z_subset, const Vector& x,
+                  const std::vector<bool>& mask) const;
+
   // All sensor indices [0, count).
   std::vector<std::size_t> all() const;
   // All indices except those in `excluded`.

@@ -19,12 +19,21 @@ double gaussian_log_pdf(const Vector& x, const Matrix& cov) {
 double degenerate_gaussian_log_pdf(const Vector& x, const Matrix& cov) {
   ROBOADS_CHECK(cov.square() && cov.rows() == x.size(),
                 "degenerate_gaussian_log_pdf shape mismatch");
-  const Matrix sym = cov.symmetrized();
-  const std::size_t n = rank(sym);
+  // Dim-scaled cutoff: mirrors the SVD-based rank()/pseudo_inverse()
+  // convention this function was originally written against.
+  return degenerate_gaussian_log_pdf(
+      x, SpdEigenFactor(cov, /*rel_tol=*/1e-10, /*dim_scaled=*/true));
+}
+
+double degenerate_gaussian_log_pdf(const Vector& x,
+                                   const SpdEigenFactor& cov_factor) {
+  ROBOADS_CHECK_EQ(cov_factor.dim(), x.size(),
+                   "degenerate_gaussian_log_pdf shape mismatch");
+  const std::size_t n = cov_factor.rank();
   if (n == 0) return 0.0;  // zero-covariance: density collapses to a point
-  const double maha = quadratic_form(pseudo_inverse(sym), x);
+  const double maha = cov_factor.quadratic_form(x);
   return -0.5 * (static_cast<double>(n) * std::log(2.0 * M_PI) +
-                 log_pseudo_determinant(sym) + maha);
+                 cov_factor.log_pseudo_determinant() + maha);
 }
 
 double degenerate_gaussian_pdf(const Vector& x, const Matrix& cov) {

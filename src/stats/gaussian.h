@@ -2,6 +2,7 @@
 // case used by the NUISE mode likelihood.
 #pragma once
 
+#include "matrix/decomp.h"
 #include "matrix/matrix.h"
 
 namespace roboads::stats {
@@ -14,6 +15,13 @@ double gaussian_log_pdf(const Vector& x, const Matrix& cov);
 // with n = rank(cov), |·|_+ the pseudo-determinant and (·)^† the
 // pseudo-inverse — exactly the mode likelihood of Algorithm 2, line 20.
 double degenerate_gaussian_log_pdf(const Vector& x, const Matrix& cov);
+
+// As above, evaluated on an already-computed factor of `cov`. The NUISE step
+// factors its innovation covariance once for the filter gain and reuses the
+// same factor here — rank, pseudo-determinant, and the Mahalanobis form all
+// come from the one eigendecomposition.
+double degenerate_gaussian_log_pdf(const Vector& x,
+                                   const SpdEigenFactor& cov_factor);
 
 // Convenience: exp of the above, floored at 0.
 double degenerate_gaussian_pdf(const Vector& x, const Matrix& cov);

@@ -2,6 +2,9 @@
 // attribution (Algorithm 1 lines 10-25).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <deque>
+
 #include "core/decision.h"
 #include "dynamics/diff_drive.h"
 #include "sensors/standard_sensors.h"
@@ -185,6 +188,144 @@ TEST(DecisionMaker, ResetClearsWindows) {
   const Decision d = dm.evaluate(ips_reference_mode(),
                                  synthetic_result(ds, Vector(2)));
   EXPECT_FALSE(d.sensor_alarm);
+}
+
+// Reference implementation of the sliding window with the exact semantics of
+// the original deque version: push, trim to `window`, count positives.
+bool deque_window_met(std::deque<bool>& history, bool positive,
+                      const SlidingWindowConfig& cfg) {
+  history.push_back(positive);
+  while (history.size() > cfg.window) history.pop_front();
+  std::size_t count = 0;
+  for (bool b : history) count += b ? 1 : 0;
+  return count >= cfg.criteria;
+}
+
+TEST(SlidingWindow, RingBufferMatchesDequeSemantics) {
+  // Every (w, c) pair over a deterministic pseudo-random outcome sequence:
+  // the ring buffer must agree with the grow-then-trim deque at every push.
+  for (std::size_t w = 1; w <= 8; ++w) {
+    for (std::size_t c = 1; c <= w; ++c) {
+      const SlidingWindowConfig cfg{w, c};
+      SlidingWindow ring(cfg);
+      std::deque<bool> deque_history;
+      unsigned state = static_cast<unsigned>(w * 131 + c);
+      for (int i = 0; i < 200; ++i) {
+        state = state * 1664525u + 1013904223u;
+        const bool positive = (state >> 16) % 3 == 0;
+        EXPECT_EQ(ring.push(positive),
+                  deque_window_met(deque_history, positive, cfg))
+            << "w=" << w << " c=" << c << " i=" << i;
+      }
+      ring.clear();
+      // After clear, pre-history counts as all-negative again.
+      EXPECT_EQ(ring.push(true), c == 1);
+    }
+  }
+}
+
+// Solves C x = v with partial-pivot Gaussian elimination in long double and
+// returns v^T x — the extended-precision reference for the χ² statistic.
+double long_double_quadratic(const Matrix& c, const Vector& v) {
+  const std::size_t n = v.size();
+  std::vector<std::vector<long double>> a(n, std::vector<long double>(n + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a[i][j] = c(i, j);
+    a[i][n] = v[i];
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(static_cast<double>(a[i][k])) >
+          std::abs(static_cast<double>(a[piv][k]))) {
+        piv = i;
+      }
+    }
+    std::swap(a[k], a[piv]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const long double f = a[i][k] / a[k][k];
+      for (std::size_t j = k; j <= n; ++j) a[i][j] -= f * a[k][j];
+    }
+  }
+  std::vector<long double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    long double acc = a[i][n];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a[i][j] * x[j];
+    x[i] = acc / a[i][i];
+  }
+  long double stat = 0.0;
+  for (std::size_t i = 0; i < n; ++i) stat += x[i] * v[i];
+  return static_cast<double>(stat);
+}
+
+// Regression for the explicit-inverse instability: with a near-singular
+// anomaly covariance, quadratic_form(inverse_spd(C), v) could go negative or
+// blow up from the catastrophic cancellation in the materialized inverse.
+// The factor-solve path (||L^{-1}v||²) is non-negative by construction and
+// must track an extended-precision reference.
+TEST(DecisionMaker, NearSingularCovarianceStaysFiniteAndAccurate) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});
+  const Mode mode{"ref:ips+lidar", {1, 2}, {0}};  // testing stack: 3-dof
+
+  // C = u u^T + 1e-6 I: eigenvalues {||u||² + 1e-6, 1e-6, 1e-6}, condition
+  // number ~1.4e7.
+  const Vector u{1.0, 2.0, 3.0};
+  Matrix cov = Matrix::outer(u, u);
+  for (std::size_t i = 0; i < 3; ++i) cov(i, i) += 1e-6;
+  const Vector anomaly{0.1, -0.2, 0.3};
+
+  NuiseResult r;
+  r.sensor_anomaly = anomaly;
+  r.sensor_anomaly_cov = cov;
+  r.actuator_anomaly = Vector{1e-4, -2e-4};
+  Matrix act_cov = Matrix::outer(Vector{1.0, 1.0}, Vector{1.0, 1.0});
+  act_cov(0, 0) += 1e-6;
+  act_cov(1, 1) += 1e-6;
+  r.actuator_anomaly_cov = act_cov;
+  r.state = Vector(3);
+  r.state_cov = Matrix::identity(3);
+
+  const Decision d = dm.evaluate(mode, r);
+
+  ASSERT_TRUE(std::isfinite(d.sensor_statistic));
+  EXPECT_GE(d.sensor_statistic, 0.0);
+  const double sensor_ref = long_double_quadratic(cov, anomaly);
+  EXPECT_NEAR(d.sensor_statistic, sensor_ref, 1e-9 * sensor_ref);
+
+  ASSERT_TRUE(std::isfinite(d.actuator_statistic));
+  EXPECT_GE(d.actuator_statistic, 0.0);
+  const double act_ref = long_double_quadratic(act_cov, r.actuator_anomaly);
+  EXPECT_NEAR(d.actuator_statistic, act_ref, 1e-9 * std::abs(act_ref));
+
+  // The per-sensor verdict reuses the same factor-solve path.
+  ASSERT_EQ(d.sensor_verdicts.size(), 1u);
+  EXPECT_GE(d.sensor_verdicts[0].statistic, 0.0);
+  EXPECT_TRUE(std::isfinite(d.sensor_verdicts[0].statistic));
+
+  // Past the factor's trust cutoff the eigen fallback takes over: the
+  // statistic must stay finite and non-negative even on an (effectively)
+  // exactly singular covariance, where the materialized explicit inverse
+  // used to produce ±1e14-scale garbage.
+  dm.reset();
+  Matrix singular = Matrix::outer(u, u);
+  for (std::size_t i = 0; i < 3; ++i) singular(i, i) += 1e-14;
+  r.sensor_anomaly_cov = singular;
+  const Decision d2 = dm.evaluate(mode, r);
+  ASSERT_TRUE(std::isfinite(d2.sensor_statistic));
+  EXPECT_GE(d2.sensor_statistic, 0.0);
+}
+
+// Thresholds served from the construction-time cache must be the exact
+// Newton-solved quantiles.
+TEST(DecisionMaker, CachedThresholdsMatchDirectSolve) {
+  const sensors::SensorSuite suite = make_suite();
+  DecisionMaker dm(suite, DecisionConfig{});
+  Vector ds(7);
+  const Decision d = dm.evaluate(ips_reference_mode(),
+                                 synthetic_result(ds, Vector(2)));
+  EXPECT_EQ(d.sensor_threshold, stats::chi_square_threshold(0.005, 7));
+  EXPECT_EQ(d.actuator_threshold, stats::chi_square_threshold(0.05, 2));
 }
 
 // The c/w parameter space of Fig. 7 must behave monotonically: a stricter

@@ -158,6 +158,103 @@ TEST(InverseSpd, AgreesWithLu) {
   expect_near(inverse_spd(a), Lu(a).inverse(), 1e-8);
 }
 
+TEST(Cholesky, SolveInPlaceMatchesSolve) {
+  const Matrix a = random_spd(5, 71u);
+  const Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector b = random_matrix(5, 1, 77u).col(0);
+  const Vector x = chol.solve(b);
+  Vector y = b;
+  chol.solve_in_place(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 0.0);
+}
+
+TEST(QuadraticFormSpd, MatchesExplicitInverseAndStaysNonNegative) {
+  const Matrix a = random_spd(4, 83u);
+  const Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector b = random_matrix(4, 1, 89u).col(0);
+  EXPECT_NEAR(quadratic_form_spd(chol, b),
+              quadratic_form(Lu(a).inverse(), b), 1e-9);
+  // ||L^{-1}b||² cannot go negative no matter the conditioning.
+  Matrix ill = Matrix::diagonal(Vector{1.0, 1e-14});
+  ill(0, 1) = ill(1, 0) = 5e-8;
+  const Cholesky chol_ill(ill);
+  ASSERT_TRUE(chol_ill.ok());
+  EXPECT_GE(quadratic_form_spd(chol_ill, Vector{1.0, 1.0}), 0.0);
+}
+
+TEST(SpdPseudoInverse, ResultIsExactlySymmetric) {
+  // A generic SPD matrix whose eigenvector products carry rounding noise:
+  // every (i,j)/(j,i) pair must still match bit-for-bit.
+  for (unsigned seed : {3u, 19u, 101u}) {
+    const Matrix p = spd_pseudo_inverse(random_spd(5, seed));
+    for (std::size_t i = 0; i < p.rows(); ++i)
+      for (std::size_t j = 0; j < i; ++j)
+        EXPECT_EQ(p(i, j), p(j, i)) << "seed " << seed;
+  }
+  // Rank-deficient input too.
+  Matrix low{{4.0, 2.0, 0.0}, {2.0, 1.0, 0.0}, {0.0, 0.0, 0.0}};  // rank 1
+  const Matrix p = spd_pseudo_inverse(low);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(p(i, j), p(j, i));
+}
+
+TEST(SpdFactor, CholeskyPathAgreesWithEigenOnRandomSpd) {
+  for (unsigned seed : {7u, 23u, 91u}) {
+    const Matrix a = random_spd(5, seed);
+    const SpdFactor fac(a);
+    ASSERT_TRUE(fac.positive_definite()) << "seed " << seed;
+    const SpdEigenFactor eig(a);
+    const Vector b = random_matrix(5, 1, seed + 1u).col(0);
+    const Vector x_c = fac.solve(b);
+    const Vector x_e = eig.solve(b);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_NEAR(x_c[i], x_e[i], 1e-8) << "seed " << seed;
+    EXPECT_NEAR(fac.quadratic_form(b), eig.quadratic_form(b), 1e-7);
+    EXPECT_NEAR(fac.log_determinant(), eig.log_pseudo_determinant(), 1e-8);
+  }
+}
+
+TEST(SpdFactor, RankDeficientFallbackMatchesSpdPseudoInverse) {
+  // Structurally singular PSD: the Cholesky must fail and the eigen
+  // fallback must reproduce spd_pseudo_inverse semantics exactly.
+  Matrix a{{2.0, 2.0, 0.0}, {2.0, 2.0, 0.0}, {0.0, 0.0, 3.0}};  // rank 2
+  const SpdFactor fac(a);
+  EXPECT_FALSE(fac.positive_definite());
+  const Matrix pinv = spd_pseudo_inverse(a);
+  const Vector b{1.0, -1.0, 2.0};
+  const Vector x = fac.solve(b);
+  const Vector x_ref = pinv * b;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-12);
+  EXPECT_NEAR(fac.quadratic_form(b), quadratic_form(pinv, b), 1e-12);
+  EXPECT_GE(fac.quadratic_form(b), 0.0);
+  EXPECT_NEAR(fac.log_determinant(), log_pseudo_determinant(a), 1e-9);
+  // Matrix right-hand side takes the same fallback.
+  const Matrix xm = fac.solve(Matrix::identity(3));
+  expect_near(xm, pinv, 1e-12);
+}
+
+TEST(SpdEigenFactor, SharesOneDecompositionAcrossAllQuantities) {
+  const Matrix a = random_spd(4, 131u);
+  const SpdEigenFactor fac(a);
+  EXPECT_EQ(fac.dim(), 4u);
+  EXPECT_EQ(fac.rank(), 4u);
+  expect_near(fac.pseudo_inverse(), spd_pseudo_inverse(a), 1e-12);
+  const Vector b = random_matrix(4, 1, 137u).col(0);
+  EXPECT_NEAR(fac.quadratic_form(b),
+              quadratic_form(spd_pseudo_inverse(a), b), 1e-8);
+  EXPECT_NEAR(fac.log_pseudo_determinant(), log_pseudo_determinant(a), 1e-9);
+}
+
+TEST(SpdEigenFactor, DimScaledCutoffMatchesSvdRankConvention) {
+  // Two nearly-degenerate directions: the likelihood-path cutoff
+  // (rel_tol * dim * λ_max) must agree with the global rank() helper.
+  Matrix a = Matrix::diagonal(Vector{1.0, 1e-11, 1e-18});
+  const SpdEigenFactor fac(a, 1e-10, /*dim_scaled=*/true);
+  EXPECT_EQ(fac.rank(), rank(a));
+}
+
 // Factorization round-trips across sizes and seeds.
 class DecompProperty
     : public ::testing::TestWithParam<std::tuple<int, int>> {};

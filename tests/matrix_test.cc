@@ -222,6 +222,67 @@ TEST(Matrix, QuadraticForm) {
   EXPECT_THROW(quadratic_form(m, Vector{1.0}), CheckError);
 }
 
+TEST(Matrix, SymmetrizeInPlaceMatchesSymmetrized) {
+  Matrix a{{1.0, 2.0, -1.0}, {2.5, 5.0, 0.5}, {0.0, 1.5, 3.0}};
+  const Matrix expected = a.symmetrized();
+  a.symmetrize();
+  EXPECT_EQ(a, expected);
+  // Symmetrizing an exactly symmetric matrix is the identity, bit-for-bit:
+  // (x + x) / 2 == x in IEEE arithmetic.
+  const Matrix before = a;
+  a.symmetrize();
+  EXPECT_EQ(a, before);
+}
+
+TEST(Matrix, SandwichMatchesTripleProduct) {
+  const Matrix a{{1.0, 2.0, 0.5}, {-1.0, 0.25, 3.0}};
+  const Matrix s =
+      Matrix{{2.0, 0.5, -0.25}, {0.5, 3.0, 1.0}, {-0.25, 1.0, 4.0}};
+  const Matrix c = sandwich(a, s);
+  const Matrix naive = a * s * a.transpose();
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(c(i, j), naive(i, j), 1e-12);
+  // Exact symmetry, not just tolerance symmetry.
+  EXPECT_EQ(c(0, 1), c(1, 0));
+  EXPECT_THROW(sandwich(a, Matrix(2, 2)), CheckError);
+}
+
+TEST(Matrix, SymRankKUpdateAccumulates) {
+  Matrix c(2, 2);
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  sym_rank_k_update(c, a, 0.5);
+  const Matrix expected = a * a.transpose() * 0.5;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(c(i, j), expected(i, j), 1e-12);
+  EXPECT_EQ(c(0, 1), c(1, 0));
+}
+
+TEST(Matrix, SymRankKUpdateIsAliasingSafe) {
+  // c and a as the same object: the update must read the pre-update values
+  // of a, exactly as if a had been copied first.
+  Matrix c{{1.0, 2.0}, {2.0, 5.0}};
+  const Matrix a_copy = c;
+  Matrix expected = a_copy;
+  sym_rank_k_update(expected, a_copy, 1.0);
+  sym_rank_k_update(c, c, 1.0);
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Matrix, AddSelfAdjointPreservesExactSymmetry) {
+  Matrix c{{1.0, 0.5}, {0.5, 2.0}};
+  const Matrix y{{0.1, 0.7}, {-0.3, 0.2}};
+  add_self_adjoint(c, y, 2.0);
+  EXPECT_NEAR(c(0, 0), 1.0 + 2.0 * (0.1 + 0.1), 1e-15);
+  EXPECT_NEAR(c(0, 1), 0.5 + 2.0 * (0.7 - 0.3), 1e-15);
+  // Mirrored pairs come from the same accumulated sum — bitwise equal.
+  EXPECT_EQ(c(0, 1), c(1, 0));
+  EXPECT_THROW(add_self_adjoint(c, Matrix(3, 3)), CheckError);
+}
+
 // Algebraic identities checked over a grid of shapes.
 class MatrixAlgebraProperty : public ::testing::TestWithParam<int> {};
 
