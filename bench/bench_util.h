@@ -31,6 +31,14 @@ namespace roboads::bench {
 //   --metrics-out=P  enable the metrics registry, print the roboads_report
 //                    summary on exit, and write the metrics snapshot JSONL
 //                    to P ("-" = report only, no file).
+//   --record-out=P   enable the flight recorder and write any postmortem
+//                    bundles frozen during the run as JSONL files named
+//                    P + <bundle_filename> ("-" = record in memory only;
+//                    set P to "dir/" or "dir/prefix-"). Batched sweeps give
+//                    every job its own recorder; single missions share the
+//                    run's Observability recorder.
+//   --record-window=N  flight-recorder ring capacity (default 256); implies
+//                    recording just like --record-out.
 //
 // Malformed values and unknown flags are hard errors: a bench silently
 // running serial because "--threads=abc" parsed as 0 wastes a sweep.
@@ -44,7 +52,8 @@ struct BenchArgs {
   std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
   std::fprintf(stderr,
                "usage: %s [--threads=N] [--trace-out=PATH] "
-               "[--metrics-out=PATH|-]\n",
+               "[--metrics-out=PATH|-] [--record-out=PREFIX|-] "
+               "[--record-window=N]\n",
                argv0);
   std::exit(2);
 }
@@ -82,6 +91,25 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       }
       args.obs.metrics = true;
       if (path != "-") args.obs.metrics_jsonl_path = path;
+    } else if (std::strncmp(arg, "--record-out=", 13) == 0) {
+      const std::string prefix = arg + 13;
+      if (prefix.empty()) {
+        bench_usage_error(argv[0], "--record-out expects a prefix or \"-\"");
+      }
+      args.obs.record = true;
+      if (prefix != "-") args.obs.record_out = prefix;
+    } else if (std::strncmp(arg, "--record-window=", 16) == 0) {
+      const char* value = arg + 16;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || end == value || *end != '\0' ||
+          !std::isdigit(static_cast<unsigned char>(*value)) || parsed == 0) {
+        bench_usage_error(argv[0], std::string("--record-window expects a ") +
+                                       "positive integer, got \"" + value +
+                                       "\"");
+      }
+      args.obs.record = true;
+      args.obs.record_window = static_cast<std::size_t>(parsed);
     } else {
       bench_usage_error(argv[0],
                         std::string("unknown argument \"") + arg + "\"");
@@ -99,6 +127,15 @@ class BenchObservation {
     if (args_.obs.enabled()) {
       bundle_ = std::make_unique<obs::Observability>(args_.obs);
       args_.workflow.instruments = bundle_->instruments();
+    }
+    if (args_.obs.record) {
+      // Batched sweeps build one private recorder per job from this config
+      // (the shared handle in `instruments` is never inherited across
+      // jobs); single missions record through the Observability instance's
+      // own recorder via instruments().
+      args_.workflow.recorder.enabled = true;
+      args_.workflow.recorder.window = args_.obs.record_window;
+      args_.workflow.record_out = args_.obs.record_out;
     }
   }
 
@@ -121,6 +158,9 @@ class BenchObservation {
     }
     if (!args_.obs.metrics_jsonl_path.empty()) {
       std::printf("metrics:     %s\n", args_.obs.metrics_jsonl_path.c_str());
+    }
+    for (const std::string& path : bundle_->bundle_paths()) {
+      std::printf("bundle:      %s\n", path.c_str());
     }
   }
 

@@ -142,14 +142,25 @@ int run(const BenchArgs& args) {
   full_cfg.metrics_jsonl_path = args.obs.metrics_jsonl_path;
   obs::Observability full(full_cfg);
 
+  // Recorder-only tier: the always-on black box (docs/OBSERVABILITY.md
+  // "Flight recorder & incident bundles"). Steady-state recording is pure
+  // same-size copying into presized ring slots, so this tier shares the
+  // disabled tiers' <2% acceptance bound.
+  obs::FlightRecorder flight_recorder(obs::FlightRecorderConfig{true, 256, 8});
+  obs::Instruments recorder_instruments;
+  recorder_instruments.recorder = &flight_recorder;
+
   auto det_off = make_detector(obs::Instruments{});
+  auto det_recorder = make_detector(recorder_instruments);
   auto det_metrics = make_detector(metrics_only.instruments());
   auto det_full = make_detector(full.instruments());
   double off = kInf;
+  double with_recorder = kInf;
   double with_metrics = kInf;
   double with_trace = kInf;
   for (std::size_t r = 0; r < kStepRepeats; ++r) {
     off = std::min(off, time_steps(*det_off));
+    with_recorder = std::min(with_recorder, time_steps(*det_recorder));
     with_metrics = std::min(with_metrics, time_steps(*det_metrics));
     with_trace = std::min(with_trace, time_steps(*det_full));
   }
@@ -157,15 +168,21 @@ int run(const BenchArgs& args) {
   std::printf("\nsection 2 — Khepera detector step (%zu steps/run):\n",
               kSteps);
   std::printf("  obs off                 %9.1f ns/step\n", off);
+  std::printf("  flight recorder         %9.1f ns/step  (%+.2f %%)\n",
+              with_recorder, pct_over(off, with_recorder));
   std::printf("  metrics                 %9.1f ns/step  (%+.2f %%)\n",
               with_metrics, pct_over(off, with_metrics));
   std::printf("  metrics + trace         %9.1f ns/step  (%+.2f %%)\n",
               with_trace, pct_over(off, with_trace));
 
   const double disabled_overhead_pct = pct_over(plain, hooked);
+  const double recorder_overhead_pct = pct_over(off, with_recorder);
   std::printf("\ndisabled-path overhead: %.2f %% (acceptance: < 2 %%)\n",
               disabled_overhead_pct);
-  const bool ok = disabled_overhead_pct < 2.0;
+  std::printf("recorder-on overhead:   %.2f %% (acceptance: < 2 %%)\n",
+              recorder_overhead_pct);
+  const bool ok =
+      disabled_overhead_pct < 2.0 && recorder_overhead_pct < 2.0;
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
 
   full.finish();

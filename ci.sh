@@ -7,7 +7,11 @@
 # also runs the instrumented mission smoke (examples/obs_smoke): one
 # full-tracing scenario-8 run whose JSONL must parse, whose trace must show
 # a health transition, and whose roboads_report must render
-# (docs/OBSERVABILITY.md). Usage:
+# (docs/OBSERVABILITY.md), plus the forensics smoke: a recorder-on attack
+# run that must freeze postmortem bundles, replay bit-identically through
+# `roboads_explain --verify`, and reproduce the live alarm timeline, and the
+# obs-overhead gate keeping disabled hooks *and* recorder-on under 2%.
+# Usage:
 #
 #   ./ci.sh            # all passes
 #   ./ci.sh normal     # plain build + ctest + obs smoke + quick perf only
@@ -37,6 +41,32 @@ run_obs_smoke() {
     "$dir/obs_smoke_metrics.jsonl"
 }
 
+# Forensics smoke (docs/OBSERVABILITY.md "Flight recorder & incident
+# bundles"): a recorder-on scenario-8 run writes postmortem bundles plus the
+# live per-iteration alarm CSV; `roboads_explain --verify` must replay the
+# first bundle bit-identically (exit 0) and its replayed alarms must match
+# the live ones line for line.
+run_forensics_smoke() {
+  local dir="$1"
+  local out="$dir/forensics"
+  rm -rf "$out" && mkdir -p "$out"
+  "$dir/examples/forensics_replay" "$out/fr-"
+  local bundle
+  bundle="$(ls "$out"/fr-*-b0-*.jsonl)"
+  "$dir/tools/roboads_explain" --verify \
+    --alarms-out="$out/replayed_alarms.csv" "$bundle"
+  diff "$out/fr-.alarms.csv" "$out/replayed_alarms.csv"
+  echo "forensics smoke: replay verified and alarm timelines match"
+}
+
+# Observability overhead gate: disabled hooks and the always-on flight
+# recorder must both stay under the documented 2% budget (the binary exits
+# non-zero otherwise).
+run_obs_overhead() {
+  local dir="$1"
+  "$dir/bench/obs_overhead"
+}
+
 # Quick perf snapshot of the detector hot path: one NUISE step, one engine
 # iteration (default mode set, plus the complete mode set at 1 and 4
 # threads), and the full detector step on both platforms. Reduced to
@@ -55,6 +85,8 @@ case "$MODE" in
   normal)
     run_pass build
     run_obs_smoke build
+    run_forensics_smoke build
+    run_obs_overhead build
     run_bench build
     ;;
   tsan)   run_pass build-tsan -DRoboADS_SANITIZE=thread ;;
@@ -67,6 +99,8 @@ case "$MODE" in
   all)
     run_pass build
     run_obs_smoke build
+    run_forensics_smoke build
+    run_obs_overhead build
     run_bench build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined

@@ -1,88 +1,79 @@
-// Forensics replay (§III-C: "for forensics purposes, we intend to quantify
-// the magnitude of the anomaly"): run a combined sensor+actuator attack,
-// then reconstruct from the detector's own outputs *what* was injected,
-// *where*, and *how large* — without ever looking at the scenario's ground
-// truth until the final comparison.
+// Incident forensics with the flight recorder (§III-C quantification;
+// docs/OBSERVABILITY.md "Flight recorder & incident bundles"): run a
+// combined sensor+actuator attack with the always-on recorder attached, let
+// the alarms freeze postmortem bundles, persist them, and prove the first
+// one replays bit-identically through eval/replay.h.
 //
-//   ./build/examples/forensics_replay
+//   ./build/examples/forensics_replay [output-prefix]
+//
+// Writes one <prefix><bundle-name>.jsonl file per frozen incident plus
+// <prefix>.alarms.csv — the live mission's per-iteration alarms over the
+// first bundle's window. ci.sh diffs that CSV against the replayed alarms
+// from `roboads_explain --verify --alarms-out=` to close the loop from
+// live detection to offline postmortem.
 #include <cstdio>
+#include <fstream>
+#include <string>
 
-#include "dynamics/diff_drive.h"
 #include "eval/khepera.h"
 #include "eval/mission.h"
-#include "eval/scoring.h"
+#include "eval/replay.h"
 
 using namespace roboads;
 using namespace roboads::eval;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "forensics";
+
   KheperaPlatform platform;
   // Scenario #8: IPS logic bomb (+0.07 m on X from 4 s) plus a wheel
   // controller bomb (∓6000 units from 10 s).
   const attacks::Scenario scenario = platform.table2_scenario(8);
+
+  obs::FlightRecorder recorder(obs::FlightRecorderConfig{true, 96, 8});
   MissionConfig cfg;
   cfg.iterations = 220;
   cfg.seed = 5150;
+  cfg.instruments.recorder = &recorder;
+  cfg.obs_label = "forensics/s5150";
   const MissionResult result = run_mission(platform, scenario, cfg);
 
-  // --- Forensic reconstruction from detector outputs only. ---
-  // 1. When did each workflow start misbehaving?
-  std::size_t first_sensor_alarm = 0, first_actuator_alarm = 0;
-  for (const IterationRecord& rec : result.records) {
-    if (!first_sensor_alarm && rec.report.decision.sensor_alarm)
-      first_sensor_alarm = rec.k;
-    if (!first_actuator_alarm && rec.report.decision.actuator_alarm)
-      first_actuator_alarm = rec.k;
+  if (recorder.bundles().empty()) {
+    std::printf("no incident captured (unexpected for scenario #8)\n");
+    return 1;
   }
 
-  // 2. Which workflows, and what was injected? Average the anomaly
-  //    estimates over the post-alarm window.
-  Vector ips_anomaly(3), actuator_anomaly(2);
-  std::size_t n_ips = 0, n_act = 0;
-  for (const IterationRecord& rec : result.records) {
-    if (first_sensor_alarm && rec.k >= first_sensor_alarm + 10) {
-      const Vector& est =
-          rec.report.sensor_anomaly_by_sensor[KheperaPlatform::kIps];
-      if (!est.empty()) {
-        ips_anomaly += est;
-        ++n_ips;
-      }
-    }
-    if (first_actuator_alarm && rec.k >= first_actuator_alarm + 10) {
-      actuator_anomaly += rec.report.actuator_anomaly;
-      ++n_act;
-    }
+  for (std::size_t b = 0; b < recorder.bundles().size(); ++b) {
+    const obs::PostmortemBundle& bundle = recorder.bundles()[b];
+    const std::string path = prefix + obs::bundle_filename(bundle, b);
+    obs::write_bundle_file(path, bundle);
+    std::printf("bundle: %s (%s at k=%lld)\n", path.c_str(),
+                bundle.trigger.c_str(),
+                static_cast<long long>(bundle.trigger_k));
   }
-  if (n_ips) ips_anomaly /= static_cast<double>(n_ips);
-  if (n_act) actuator_anomaly /= static_cast<double>(n_act);
 
-  std::printf("forensic report (reconstructed from detector outputs)\n");
-  std::printf("----------------------------------------------------\n");
-  std::printf("sensor misbehavior first confirmed at   t = %.1f s\n",
-              static_cast<double>(first_sensor_alarm) * result.dt);
-  std::printf("actuator misbehavior first confirmed at t = %.1f s\n",
-              static_cast<double>(first_actuator_alarm) * result.dt);
-  std::printf("estimated IPS corruption:      (%+.3f, %+.3f, %+.3f)\n",
-              ips_anomaly[0], ips_anomaly[1], ips_anomaly[2]);
-  std::printf("estimated actuator corruption: (%+.4f, %+.4f) m/s\n",
-              actuator_anomaly[0], actuator_anomaly[1]);
-  std::printf("                             = (%+.0f, %+.0f) Khepera "
-              "speed units\n",
-              actuator_anomaly[0] / dyn::kKheperaSpeedUnit,
-              actuator_anomaly[1] / dyn::kKheperaSpeedUnit);
+  const obs::PostmortemBundle& first = recorder.bundles().front();
+  {
+    const std::string path = prefix + ".alarms.csv";
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    os << "k,sensor_alarm,actuator_alarm\n";
+    for (const IterationRecord& rec : result.records) {
+      const std::int64_t k = static_cast<std::int64_t>(rec.k);
+      if (k < first.records.front().k || k > first.records.back().k) continue;
+      os << rec.k << ',' << (rec.report.decision.sensor_alarm ? 1 : 0) << ','
+         << (rec.report.decision.actuator_alarm ? 1 : 0) << '\n';
+    }
+    std::printf("live alarms: %s\n", path.c_str());
+  }
 
-  std::printf("\nground truth (what the scenario actually injected)\n");
-  std::printf("----------------------------------------------------\n");
-  std::printf("IPS bias (+0.070, 0, 0) from t = 4.0 s; wheel bias "
-              "(-6000, +6000) units from t = 10.0 s\n");
-
-  const double sensor_err = sensor_quantification_error(
-      result, KheperaPlatform::kIps, Vector{0.07, 0.0, 0.0}, 120);
-  const double bomb = dyn::khepera_units_to_mps(6000.0);
-  const double act_err = actuator_quantification_error(
-      result, Vector{-bomb, bomb}, 120);
-  std::printf("\nnormalized quantification error: sensor %.2f%%, actuator "
-              "%.2f%% (paper §V-C: 1.91%% and 0.41-1.79%%)\n",
-              100.0 * sensor_err, 100.0 * act_err);
-  return 0;
+  // Replay the incident in-process. The in-memory bundle carries a pre-step
+  // snapshot on every record, so this also bit-compares the detector state
+  // at every intermediate iteration, not just the outputs.
+  const ReplayResult replay = replay_bundle(first);
+  std::printf("%s", explain_bundle(first, &replay).c_str());
+  return replay.identical() ? 0 : 1;
 }

@@ -45,6 +45,21 @@ void DecisionMaker::reset() {
   for (auto& h : per_sensor_history_) h.clear();
 }
 
+void DecisionMaker::save_windows(std::vector<std::int64_t>& out) const {
+  out.clear();
+  sensor_history_.save(out);
+  actuator_history_.save(out);
+  for (const SlidingWindow& h : per_sensor_history_) h.save(out);
+}
+
+void DecisionMaker::restore_windows(const std::vector<std::int64_t>& in) {
+  std::size_t at = sensor_history_.restore(in, 0);
+  at = actuator_history_.restore(in, at);
+  for (SlidingWindow& h : per_sensor_history_) at = h.restore(in, at);
+  ROBOADS_CHECK_EQ(at, in.size(),
+                   "decision-window snapshot has trailing data");
+}
+
 double DecisionMaker::threshold_for(const std::vector<double>& cache,
                                     double alpha, std::size_t dof) {
   if (dof < cache.size()) return cache[dof];

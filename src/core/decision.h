@@ -12,9 +12,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/check.h"
 #include "core/engine.h"
 
 namespace roboads::core {
@@ -50,6 +52,34 @@ class SlidingWindow {
     std::fill(buf_.begin(), buf_.end(), 0);
     head_ = 0;
     positives_ = 0;
+  }
+
+  // Flat serialization for the flight recorder (obs/flight_recorder.h):
+  // appends [size, head, positives, slot...] to `out`.
+  void save(std::vector<std::int64_t>& out) const {
+    out.push_back(static_cast<std::int64_t>(buf_.size()));
+    out.push_back(static_cast<std::int64_t>(head_));
+    out.push_back(static_cast<std::int64_t>(positives_));
+    for (unsigned char b : buf_) out.push_back(b);
+  }
+
+  // Restores a save() stream starting at `in[at]`; returns the position
+  // right after this window's block. The stored size must match the
+  // window's configured size — a snapshot only replays into a detector
+  // built with the same configuration.
+  std::size_t restore(const std::vector<std::int64_t>& in, std::size_t at) {
+    ROBOADS_CHECK(at + 3 <= in.size(), "truncated sliding-window snapshot");
+    ROBOADS_CHECK_EQ(in[at], static_cast<std::int64_t>(buf_.size()),
+                     "sliding-window snapshot size mismatch");
+    ROBOADS_CHECK(at + 3 + buf_.size() <= in.size(),
+                  "truncated sliding-window snapshot");
+    head_ = static_cast<std::size_t>(in[at + 1]);
+    positives_ = static_cast<std::size_t>(in[at + 2]);
+    ROBOADS_CHECK(head_ < buf_.size(), "sliding-window head out of range");
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      buf_[i] = in[at + 3 + i] != 0 ? 1 : 0;
+    }
+    return at + 3 + buf_.size();
   }
 
  private:
@@ -106,6 +136,13 @@ class DecisionMaker {
 
   // Clears the sliding windows (e.g. at mission start).
   void reset();
+
+  // Flight-recorder state capture (obs/flight_recorder.h): the sliding-
+  // window contents, flat-packed in a fixed order (aggregate sensor,
+  // aggregate actuator, then one window per suite sensor). restore_windows
+  // requires a decision maker built with the same suite and configuration.
+  void save_windows(std::vector<std::int64_t>& out) const;
+  void restore_windows(const std::vector<std::int64_t>& in);
 
  private:
   // Cached χ² quantile lookup: `cache[dof]` when precomputed, direct

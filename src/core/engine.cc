@@ -65,6 +65,61 @@ void MultiModeEngine::reset(const Vector& x0, const Matrix& p0) {
   step_index_ = 0;
 }
 
+void MultiModeEngine::save_state(obs::DetectorStateSnapshot& snap) const {
+  // Same-size writes into presized snapshot vectors: after the first call
+  // on a given snapshot the capture allocates nothing (the flight-recorder
+  // hot-path contract).
+  snap.state.assign(state_.data(), state_.data() + state_.size());
+  const std::size_t n = state_cov_.rows();
+  snap.state_cov.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      snap.state_cov[i * n + j] = state_cov_(i, j);
+    }
+  }
+  snap.weights.assign(weights_.begin(), weights_.end());
+  snap.health.resize(health_.size() * 4);
+  for (std::size_t m = 0; m < health_.size(); ++m) {
+    snap.health[4 * m + 0] = static_cast<std::int64_t>(health_[m].state);
+    snap.health[4 * m + 1] =
+        static_cast<std::int64_t>(health_[m].clean_streak);
+    snap.health[4 * m + 2] =
+        static_cast<std::int64_t>(health_[m].quarantine_count);
+    snap.health[4 * m + 3] = static_cast<std::int64_t>(health_[m].repairs);
+  }
+  snap.iteration = static_cast<std::int64_t>(step_index_);
+}
+
+void MultiModeEngine::restore_state(const obs::DetectorStateSnapshot& snap) {
+  const std::size_t n = state_.size();
+  ROBOADS_CHECK_EQ(snap.state.size(), n, "snapshot state dimension mismatch");
+  ROBOADS_CHECK_EQ(snap.state_cov.size(), n * n,
+                   "snapshot covariance dimension mismatch");
+  ROBOADS_CHECK_EQ(snap.weights.size(), modes_.size(),
+                   "snapshot mode-weight count mismatch");
+  ROBOADS_CHECK_EQ(snap.health.size(), modes_.size() * 4,
+                   "snapshot mode-health count mismatch");
+  for (std::size_t i = 0; i < n; ++i) state_[i] = snap.state[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      state_cov_(i, j) = snap.state_cov[i * n + j];
+    }
+  }
+  weights_.assign(snap.weights.begin(), snap.weights.end());
+  for (std::size_t m = 0; m < health_.size(); ++m) {
+    const std::int64_t state_code = snap.health[4 * m + 0];
+    ROBOADS_CHECK(state_code >= 0 && state_code <= 2,
+                  "snapshot mode-health state out of range");
+    health_[m].state = static_cast<ModeHealthState>(state_code);
+    health_[m].clean_streak =
+        static_cast<std::size_t>(snap.health[4 * m + 1]);
+    health_[m].quarantine_count =
+        static_cast<std::size_t>(snap.health[4 * m + 2]);
+    health_[m].repairs = static_cast<std::size_t>(snap.health[4 * m + 3]);
+  }
+  step_index_ = static_cast<std::size_t>(snap.iteration);
+}
+
 EngineResult MultiModeEngine::step(const Vector& u_prev,
                                    const Vector& z_full) {
   return step_impl(u_prev, z_full, nullptr);

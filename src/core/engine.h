@@ -108,6 +108,16 @@ class MultiModeEngine {
   // a new mission).
   void reset(const Vector& x0, const Matrix& p0);
 
+  // Flight-recorder state capture (obs/flight_recorder.h): fills/reads the
+  // engine-owned part of the flat snapshot — shared estimate + covariance,
+  // normalized weights, per-mode health, and the step counter. Restoring
+  // into an engine built with the same model/suite/modes/config resumes
+  // stepping bit-identically from the captured point. The decision-window
+  // part of the snapshot belongs to the DecisionMaker (core/roboads.h ties
+  // the two together).
+  void save_state(obs::DetectorStateSnapshot& snap) const;
+  void restore_state(const obs::DetectorStateSnapshot& snap);
+
   // Pool size actually in use (after resolving num_threads = 0).
   std::size_t thread_count() const { return pool_->size(); }
 

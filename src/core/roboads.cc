@@ -1,6 +1,7 @@
 #include "core/roboads.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "obs/timer.h"
@@ -39,6 +40,27 @@ void RoboAds::reset(const Vector& x0, const Matrix& p0) {
   engine_.reset(x0, p0);
   decision_maker_.reset();
   iteration_ = 0;
+  prev_sensor_alarm_ = false;
+  prev_actuator_alarm_ = false;
+  prev_quarantined_ = false;
+}
+
+void RoboAds::save_state(obs::DetectorStateSnapshot& snap) const {
+  engine_.save_state(snap);
+  decision_maker_.save_windows(snap.decision);
+  snap.iteration = static_cast<std::int64_t>(iteration_);
+}
+
+void RoboAds::restore_state(const obs::DetectorStateSnapshot& snap) {
+  engine_.restore_state(snap);
+  decision_maker_.restore_windows(snap.decision);
+  iteration_ = static_cast<std::size_t>(snap.iteration);
+  // The trigger edge state is not part of the snapshot: a replayed run
+  // starts with clear edges, so the incident that froze the bundle fires
+  // again during replay (which is exactly what --verify checks).
+  prev_sensor_alarm_ = false;
+  prev_actuator_alarm_ = false;
+  prev_quarantined_ = false;
 }
 
 DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full) {
@@ -58,6 +80,23 @@ DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full,
       const Vector block = z_full.segment(suite_.offset(i),
                                           suite_.sensor(i).dim());
       if (!block.all_finite()) mask[i] = false;
+    }
+  }
+
+  // Flight recorder, input half: advance the ring and capture the pre-step
+  // detector state plus this iteration's inputs before estimation runs. All
+  // writes are same-size assigns into the presized slot (allocation-free in
+  // steady state).
+  obs::FlightRecorder* const recorder = instruments_.recorder;
+  obs::FlightRecord* rec = nullptr;
+  if (recorder != nullptr) {
+    rec = &recorder->begin_record();
+    save_state(rec->pre_step);
+    rec->u.assign(u_prev.data(), u_prev.data() + u_prev.size());
+    rec->z.assign(z_full.data(), z_full.data() + z_full.size());
+    rec->availability.assign(suite_.count(), '1');
+    for (std::size_t i = 0; i < mask.size() && i < suite_.count(); ++i) {
+      if (!mask[i]) rec->availability[i] = '0';
     }
   }
 
@@ -119,7 +158,102 @@ DetectionReport RoboAds::step(const Vector& u_prev, const Vector& z_full,
   if (instruments_.trace != nullptr) {
     emit_iteration_event(report, engine_result);
   }
+
+  // Flight recorder, output half: finish the record, then freeze a
+  // postmortem bundle on every rising edge of an incident condition.
+  if (rec != nullptr) {
+    fill_flight_record(*rec, report, engine_result);
+    const std::int64_t k = static_cast<std::int64_t>(report.iteration);
+    const bool quarantined_now = report.quarantined_modes > 0;
+    if (report.decision.sensor_alarm && !prev_sensor_alarm_) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "sensor chi2 %.6g > %.6g (misbehaving=%s)",
+                    report.decision.sensor_statistic,
+                    report.decision.sensor_threshold,
+                    rec->misbehaving.c_str());
+      recorder->trigger(obs::BundleTrigger::kSensorAlarm, k, detail);
+    }
+    if (report.decision.actuator_alarm && !prev_actuator_alarm_) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail), "actuator chi2 %.6g > %.6g",
+                    report.decision.actuator_statistic,
+                    report.decision.actuator_threshold);
+      recorder->trigger(obs::BundleTrigger::kActuatorAlarm, k, detail);
+    }
+    if (quarantined_now && !prev_quarantined_) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "%zu mode(s) quarantined (health=%s)",
+                    report.quarantined_modes, rec->mode_health.c_str());
+      recorder->trigger(obs::BundleTrigger::kQuarantine, k, detail);
+    }
+    prev_sensor_alarm_ = report.decision.sensor_alarm;
+    prev_actuator_alarm_ = report.decision.actuator_alarm;
+    prev_quarantined_ = quarantined_now;
+  }
   return report;
+}
+
+// Packs one finished iteration into the recorder slot. Per-sensor fields are
+// NaN-padded to the full suite layout so every record has an identical shape
+// regardless of the selected mode's testing group or degraded steps.
+void RoboAds::fill_flight_record(obs::FlightRecord& rec,
+                                 const DetectionReport& report,
+                                 const EngineResult& engine_result) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  rec.k = static_cast<std::int64_t>(report.iteration);
+  rec.selected_mode = static_cast<std::int64_t>(report.selected_mode);
+  rec.mode_weights = report.mode_weights;
+  const std::size_t m_count = engine_.modes().size();
+  rec.log_likelihoods.resize(m_count);
+  rec.innovation_norms.resize(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const NuiseResult& r = engine_result.per_mode[m];
+    rec.log_likelihoods[m] =
+        r.likelihood_informative ? r.log_likelihood : kNaN;
+    rec.innovation_norms[m] =
+        r.correction_applied ? r.innovation.norm() : kNaN;
+  }
+  rec.sensor_chi2 = report.decision.sensor_statistic;
+  rec.sensor_threshold = report.decision.sensor_threshold;
+  rec.sensor_alarm = report.decision.sensor_alarm;
+  rec.actuator_chi2 = report.decision.actuator_statistic;
+  rec.actuator_threshold = report.decision.actuator_threshold;
+  rec.actuator_alarm = report.decision.actuator_alarm;
+  rec.per_sensor_chi2.assign(suite_.count(), kNaN);
+  rec.per_sensor_threshold.assign(suite_.count(), kNaN);
+  for (const SensorVerdict& v : report.decision.sensor_verdicts) {
+    rec.per_sensor_chi2[v.sensor_index] = v.statistic;
+    rec.per_sensor_threshold[v.sensor_index] = v.threshold;
+  }
+  rec.misbehaving.assign(suite_.count(), '0');
+  for (std::size_t s : report.decision.misbehaving_sensors) {
+    rec.misbehaving[s] = '1';
+  }
+  rec.sensor_anomaly.assign(suite_.total_dim(), kNaN);
+  for (std::size_t s = 0; s < suite_.count(); ++s) {
+    const Vector& block = report.sensor_anomaly_by_sensor[s];
+    if (block.size() == 0) continue;
+    const std::size_t off = suite_.offset(s);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      rec.sensor_anomaly[off + i] = block[i];
+    }
+  }
+  rec.actuator_anomaly.assign(
+      report.actuator_anomaly.data(),
+      report.actuator_anomaly.data() + report.actuator_anomaly.size());
+  rec.mode_health.resize(report.mode_health.size());
+  for (std::size_t m = 0; m < report.mode_health.size(); ++m) {
+    rec.mode_health[m] = code(report.mode_health[m]);
+  }
+  rec.quarantined = static_cast<std::int64_t>(report.quarantined_modes);
+  rec.containment = engine_result.fallback_previous_estimate;
+  // Ground truth is the mission runner's to stamp (annotate_truth); the
+  // slot's previous tenant must not leak through.
+  rec.truth_valid = false;
+  rec.truth_sensors.clear();
+  rec.truth_actuator = false;
 }
 
 // The per-iteration trace record (docs/OBSERVABILITY.md). Emitted from the

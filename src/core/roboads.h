@@ -79,9 +79,22 @@ class RoboAds {
   // Restarts estimation for a new mission.
   void reset(const Vector& x0, const Matrix& p0);
 
+  // Flight-recorder state capture (obs/flight_recorder.h): the full evolving
+  // detector state — engine estimate/covariance/weights/health, decision
+  // sliding windows, and the iteration counter — flat-packed for a ring
+  // record. Restoring into a detector built with the same
+  // model/suite/modes/config resumes step() bit-identically from the
+  // captured point; that contract is what makes postmortem bundles
+  // replayable (eval/replay.h).
+  void save_state(obs::DetectorStateSnapshot& snap) const;
+  void restore_state(const obs::DetectorStateSnapshot& snap);
+
  private:
   void emit_iteration_event(const DetectionReport& report,
                             const EngineResult& engine_result);
+  void fill_flight_record(obs::FlightRecord& rec,
+                          const DetectionReport& report,
+                          const EngineResult& engine_result);
 
   const sensors::SensorSuite& suite_;
   MultiModeEngine engine_;
@@ -97,6 +110,13 @@ class RoboAds {
   obs::Histogram* h_decision_ = nullptr;   // decision.evaluate_ns
   obs::Counter* c_sensor_alarms_ = nullptr;
   obs::Counter* c_actuator_alarms_ = nullptr;
+
+  // Rising-edge memory for flight-recorder bundle triggers: a bundle is
+  // frozen when an alarm/quarantine condition *starts*, not on every
+  // iteration it persists.
+  bool prev_sensor_alarm_ = false;
+  bool prev_actuator_alarm_ = false;
+  bool prev_quarantined_ = false;
 };
 
 }  // namespace roboads::core

@@ -30,34 +30,66 @@ std::vector<MissionJobResult> run_mission_batch(
         out.name = jobs[i].name;
         MissionFailure fail;
         fail.seed = jobs[i].config.seed;
+        // This job's private flight recorder (when the sweep records) and
+        // whichever recorder — private or job-supplied — is actually wired,
+        // so an aborted mission can freeze a mission_failure bundle.
+        std::optional<obs::FlightRecorder> job_recorder;
+        obs::FlightRecorder* recorder = nullptr;
         try {
           const attacks::Scenario scenario = jobs[i].make_scenario();
           out.name = jobs[i].name.empty() ? scenario.name() : jobs[i].name;
           fail.scenario = scenario.name();
           // Sweep-level observability: jobs without their own handles
-          // inherit the runner's shared registry/sink, labeled
-          // "<job>/s<seed>" so interleaved missions stay attributable.
+          // inherit the runner's shared registry/sink. The flight recorder
+          // is the exception — its ring is a single mission timeline, so a
+          // shared handle is never inherited; recording jobs get a private
+          // instance below instead.
           MissionConfig mission_config = jobs[i].config;
-          if (!mission_config.instruments.enabled() &&
-              config.instruments.enabled()) {
+          const bool inherited = !mission_config.instruments.enabled() &&
+                                 config.instruments.enabled();
+          if (inherited) {
             mission_config.instruments = config.instruments;
-            if (mission_config.obs_label.empty()) {
-              mission_config.obs_label =
-                  out.name + "/s" + std::to_string(mission_config.seed);
-            }
+            mission_config.instruments.recorder = nullptr;
           }
+          if (config.recorder.enabled &&
+              mission_config.instruments.recorder == nullptr) {
+            job_recorder.emplace(config.recorder);
+            mission_config.instruments.recorder = &*job_recorder;
+          }
+          // Job labels carry the job ordinal on top of "<name>/s<seed>":
+          // sweeps legitimately repeat (scenario, seed) pairs — e.g. the
+          // same scenario under different detector overrides — and their
+          // trace events and bundle filenames must not collide.
+          if (mission_config.obs_label.empty() &&
+              (inherited || job_recorder.has_value())) {
+            mission_config.obs_label = out.name + "/s" +
+                                       std::to_string(mission_config.seed) +
+                                       "/j" + std::to_string(i);
+          }
+          recorder = mission_config.instruments.recorder;
           out.result = run_mission(platform, scenario, mission_config);
           out.score = score_mission(out.result, platform);
         } catch (const MissionError& e) {
+          if (recorder != nullptr) {
+            recorder->trigger(obs::BundleTrigger::kMissionFailure,
+                              static_cast<std::int64_t>(e.step()), e.what());
+          }
           fail.name = out.name;
           fail.step = e.step();
           fail.what = e.what();
           out.failure = std::move(fail);
         } catch (const std::exception& e) {
+          if (recorder != nullptr) {
+            recorder->trigger(obs::BundleTrigger::kMissionFailure, 0,
+                              e.what());
+          }
           fail.name = out.name;
           fail.step = 0;
           fail.what = e.what();
           out.failure = std::move(fail);
+        }
+        if (job_recorder.has_value()) {
+          out.bundles = job_recorder->take_bundles();
         }
       });
   for (const sim::TaskFailure& tf : uncaught) {
@@ -68,6 +100,18 @@ std::vector<MissionJobResult> run_mission_batch(
       fail.seed = jobs[tf.index].config.seed;
       fail.what = tf.what;
       results[tf.index].failure = std::move(fail);
+    }
+  }
+  // Bundle files are written serially after the join, in job order, so the
+  // set of files on disk is identical for every worker count.
+  if (!config.record_out.empty()) {
+    for (MissionJobResult& r : results) {
+      for (std::size_t b = 0; b < r.bundles.size(); ++b) {
+        const std::string path =
+            config.record_out + obs::bundle_filename(r.bundles[b], b);
+        obs::write_bundle_file(path, r.bundles[b]);
+        r.bundle_paths.push_back(path);
+      }
     }
   }
   return results;

@@ -51,6 +51,14 @@ struct MissionJobResult {
   // default-constructed.
   std::optional<MissionFailure> failure;
   bool failed() const { return failure.has_value(); }
+
+  // Postmortem bundles frozen by this job's private flight recorder
+  // (populated when WorkflowConfig::recorder.enabled; an aborted mission
+  // additionally freezes a "mission_failure" bundle). Empty otherwise.
+  std::vector<obs::PostmortemBundle> bundles;
+  // Files the bundles were written to (when WorkflowConfig::record_out is
+  // set; parallel to `bundles`).
+  std::vector<std::string> bundle_paths;
 };
 
 // Convenience builder for the common case.

@@ -68,6 +68,48 @@ MissionResult run_mission(const Platform& platform,
                          platform.process_cov(), platform.initial_state(), p0,
                          detector_config, platform.detector_modes());
 
+  // Flight recorder: open this mission's timeline with full provenance so
+  // any bundle frozen later is self-describing — eval/replay.h rebuilds the
+  // detector from these fields alone. The recorder is per-mission state;
+  // batch sweeps hand each job its own instance (eval/batch.cc).
+  obs::FlightRecorder* const recorder = config.instruments.recorder;
+  if (recorder != nullptr) {
+    obs::BundleProvenance prov;
+    prov.label = config.obs_label;
+    prov.platform = platform.name();
+    prov.scenario = scenario.name();
+    prov.description = scenario.description();
+    prov.seed = static_cast<std::int64_t>(config.seed);
+    prov.iterations = static_cast<std::int64_t>(config.iterations);
+    prov.dt = model.dt();
+    prov.linear_baseline = config.linear_baseline;
+    prov.likelihood_floor = detector_config.engine.likelihood_floor;
+    prov.health_enabled = detector_config.engine.health.enabled;
+    prov.sensor_alpha = detector_config.decision.sensor_alpha;
+    prov.actuator_alpha = detector_config.decision.actuator_alpha;
+    prov.sensor_window = static_cast<std::int64_t>(
+        detector_config.decision.sensor_window.window);
+    prov.sensor_criteria = static_cast<std::int64_t>(
+        detector_config.decision.sensor_window.criteria);
+    prov.actuator_window = static_cast<std::int64_t>(
+        detector_config.decision.actuator_window.window);
+    prov.actuator_criteria = static_cast<std::int64_t>(
+        detector_config.decision.actuator_window.criteria);
+    for (const core::Mode& m : detector.modes()) {
+      if (!prov.modes.empty()) prov.modes += ';';
+      prov.modes += m.label;
+    }
+    for (std::size_t s = 0; s < detector_suite.count(); ++s) {
+      if (!prov.sensors.empty()) prov.sensors += ';';
+      prov.sensors += detector_suite.sensor(s).name();
+      prov.sensor_dims.push_back(
+          static_cast<std::int64_t>(detector_suite.sensor(s).dim()));
+    }
+    prov.state_dim = static_cast<std::int64_t>(detector_model.state_dim());
+    prov.input_dim = static_cast<std::int64_t>(detector_model.input_dim());
+    recorder->begin_mission(std::move(prov));
+  }
+
   // Transport faults sit between the sensing workflows and every reading
   // consumer (planner *and* detector read the same bus). An inactive config
   // never touches the readings or draws from an Rng, so the default mission
@@ -121,6 +163,14 @@ MissionResult run_mission(const Platform& platform,
       rec.truth.actuator_corrupted = false;
     }
     if (rec.collided) rec.truth.actuator_corrupted = true;
+    if (recorder != nullptr) {
+      std::string truth_sensors(suite.count(), '0');
+      for (std::size_t s : rec.truth.corrupted_sensors) {
+        if (s < truth_sensors.size()) truth_sensors[s] = '1';
+      }
+      recorder->annotate_truth(static_cast<std::int64_t>(k), truth_sensors,
+                               rec.truth.actuator_corrupted);
+    }
     result.records.push_back(std::move(rec));
     if (controller->finished()) break;
   }

@@ -1,0 +1,655 @@
+#include "obs/flight_recorder.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace roboads::obs {
+namespace {
+
+constexpr char kBundleName[] = "roboads-postmortem";
+
+void write_key(std::ostream& os, const char* key, bool first = false) {
+  if (!first) os << ',';
+  os << '"' << key << "\":";
+}
+
+void write_doubles(std::ostream& os, const std::vector<double>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    json::write_number(os, v[i]);
+  }
+  os << ']';
+}
+
+void write_ints(std::ostream& os, const std::vector<std::int64_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+// --- Minimal value-extracting JSON parser for the bundle subset: flat
+// objects whose values are null / bool / number / string / array-of-number
+// (the structural validator in obs/trace.h checks syntax only and extracts
+// nothing, so bundles need their own reader). Numbers parse via strtod on
+// the %.17g writer output, so doubles round-trip exactly; null inside a
+// numeric context reads back as NaN, mirroring the writer.
+
+struct ParsedValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<double> nums;
+};
+
+class LineParser {
+ public:
+  LineParser(const std::string& line, std::size_t line_no)
+      : s_(line), line_no_(line_no) {}
+
+  std::map<std::string, ParsedValue> parse_object() {
+    std::map<std::string, ParsedValue> out;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+    } else {
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        out[std::move(key)] = parse_value();
+        skip_ws();
+        const char c = next();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    if (i_ != s_.size()) fail("trailing characters after object");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CheckError("bundle line " + std::to_string(line_no_) + ": " + what);
+  }
+
+  char peek() const {
+    if (i_ >= s_.size()) fail("unexpected end of line");
+    return s_[i_];
+  }
+  char next() {
+    const char c = peek();
+    ++i_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(i_, n, word) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("truncated \\u escape");
+          const std::string hex = s_.substr(i_, 4);
+          i_ += 4;
+          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default: fail("unsupported escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const char* begin = s_.c_str() + i_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("malformed number");
+    i_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  ParsedValue parse_value() {
+    skip_ws();
+    ParsedValue v;
+    const char c = peek();
+    if (c == 'n') {
+      if (!literal("null")) fail("bad literal");
+      v.kind = ParsedValue::Kind::kNull;
+      v.num = std::numeric_limits<double>::quiet_NaN();
+    } else if (c == 't' || c == 'f') {
+      v.kind = ParsedValue::Kind::kBool;
+      if (literal("true")) {
+        v.b = true;
+      } else if (literal("false")) {
+        v.b = false;
+      } else {
+        fail("bad literal");
+      }
+    } else if (c == '"') {
+      v.kind = ParsedValue::Kind::kString;
+      v.str = parse_string();
+    } else if (c == '[') {
+      ++i_;
+      v.kind = ParsedValue::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        if (peek() == 'n') {
+          if (!literal("null")) fail("bad literal");
+          v.nums.push_back(std::numeric_limits<double>::quiet_NaN());
+        } else {
+          v.nums.push_back(parse_number());
+        }
+        skip_ws();
+        const char e = next();
+        if (e == ']') break;
+        if (e != ',') fail("expected ',' or ']'");
+      }
+    } else {
+      v.kind = ParsedValue::Kind::kNumber;
+      v.num = parse_number();
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  std::size_t line_no_;
+};
+
+// Typed field access with loud failures — a schema drift should be a clear
+// error, not a default-initialized record.
+class Fields {
+ public:
+  Fields(std::map<std::string, ParsedValue> fields, std::size_t line_no)
+      : fields_(std::move(fields)), line_no_(line_no) {}
+
+  const ParsedValue& at(const char* key) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) {
+      throw CheckError("bundle line " + std::to_string(line_no_) +
+                       ": missing field '" + key + "'");
+    }
+    return it->second;
+  }
+
+  double number(const char* key) const {
+    const ParsedValue& v = at(key);
+    if (v.kind != ParsedValue::Kind::kNumber &&
+        v.kind != ParsedValue::Kind::kNull) {
+      fail(key, "number");
+    }
+    return v.num;
+  }
+  std::int64_t integer(const char* key) const {
+    return static_cast<std::int64_t>(number(key));
+  }
+  bool boolean(const char* key) const {
+    const ParsedValue& v = at(key);
+    if (v.kind != ParsedValue::Kind::kBool) fail(key, "bool");
+    return v.b;
+  }
+  const std::string& string(const char* key) const {
+    const ParsedValue& v = at(key);
+    if (v.kind != ParsedValue::Kind::kString) fail(key, "string");
+    return v.str;
+  }
+  const std::vector<double>& numbers(const char* key) const {
+    const ParsedValue& v = at(key);
+    if (v.kind != ParsedValue::Kind::kArray) fail(key, "array");
+    return v.nums;
+  }
+  std::vector<std::int64_t> integers(const char* key) const {
+    const std::vector<double>& nums = numbers(key);
+    std::vector<std::int64_t> out(nums.size());
+    for (std::size_t i = 0; i < nums.size(); ++i) {
+      out[i] = static_cast<std::int64_t>(nums[i]);
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* key, const char* want) const {
+    throw CheckError("bundle line " + std::to_string(line_no_) + ": field '" +
+                     std::string(key) + "' is not a " + want);
+  }
+
+  std::map<std::string, ParsedValue> fields_;
+  std::size_t line_no_;
+};
+
+Fields parse_line(std::istream& is, std::size_t& line_no, const char* what) {
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty()) {
+      LineParser parser(line, line_no);
+      return Fields(parser.parse_object(), line_no);
+    }
+  }
+  throw CheckError(std::string("bundle truncated: missing ") + what +
+                   " line");
+}
+
+void write_snapshot_line(std::ostream& os, std::int64_t k,
+                         const DetectorStateSnapshot& snap) {
+  os << '{';
+  write_key(os, "event", /*first=*/true);
+  os << "\"snapshot\"";
+  write_key(os, "k");
+  os << k;
+  write_key(os, "state");
+  write_doubles(os, snap.state);
+  write_key(os, "state_cov");
+  write_doubles(os, snap.state_cov);
+  write_key(os, "weights");
+  write_doubles(os, snap.weights);
+  write_key(os, "health");
+  write_ints(os, snap.health);
+  write_key(os, "decision");
+  write_ints(os, snap.decision);
+  write_key(os, "iteration");
+  os << snap.iteration;
+  os << "}\n";
+}
+
+}  // namespace
+
+const char* to_string(BundleTrigger trigger) {
+  switch (trigger) {
+    case BundleTrigger::kSensorAlarm: return "sensor_alarm";
+    case BundleTrigger::kActuatorAlarm: return "actuator_alarm";
+    case BundleTrigger::kQuarantine: return "quarantine";
+    case BundleTrigger::kMissionFailure: return "mission_failure";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  ROBOADS_CHECK(config_.window >= 1, "flight recorder window must be >= 1");
+  ring_.resize(config_.window);
+}
+
+void FlightRecorder::begin_mission(BundleProvenance provenance) {
+  provenance_ = std::move(provenance);
+  next_ = 0;
+  count_ = 0;
+}
+
+FlightRecord& FlightRecorder::begin_record() {
+  FlightRecord& slot = ring_[next_];
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+  return slot;
+}
+
+void FlightRecorder::annotate_truth(std::int64_t k,
+                                    const std::string& truth_sensors,
+                                    bool truth_actuator) {
+  if (count_ == 0) return;
+  FlightRecord& newest = ring_[(next_ + ring_.size() - 1) % ring_.size()];
+  if (newest.k != k) return;
+  newest.truth_valid = true;
+  newest.truth_sensors = truth_sensors;
+  newest.truth_actuator = truth_actuator;
+  // Bundles triggered by iteration k were frozen inside the detector step,
+  // before the mission runner could stamp this truth — patch their copy of
+  // the trigger record so frozen incidents carry complete ground truth.
+  for (PostmortemBundle& b : bundles_) {
+    if (b.records.empty()) continue;
+    FlightRecord& last = b.records.back();
+    if (last.k != k || last.truth_valid) continue;
+    last.truth_valid = true;
+    last.truth_sensors = truth_sensors;
+    last.truth_actuator = truth_actuator;
+  }
+}
+
+std::size_t FlightRecorder::size() const { return count_; }
+
+std::vector<const FlightRecord*> FlightRecorder::window() const {
+  std::vector<const FlightRecord*> out;
+  out.reserve(count_);
+  const std::size_t oldest =
+      count_ < ring_.size() ? 0 : next_;  // ring fills from slot 0
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(&ring_[(oldest + i) % ring_.size()]);
+  }
+  return out;
+}
+
+PostmortemBundle FlightRecorder::snapshot(BundleTrigger trigger,
+                                          std::int64_t k,
+                                          const std::string& detail) const {
+  PostmortemBundle bundle;
+  bundle.trigger = to_string(trigger);
+  bundle.trigger_k = k;
+  bundle.detail = detail;
+  bundle.provenance = provenance_;
+  bundle.records.reserve(count_);
+  for (const FlightRecord* rec : window()) bundle.records.push_back(*rec);
+  return bundle;
+}
+
+void FlightRecorder::trigger(BundleTrigger trigger, std::int64_t k,
+                             const std::string& detail) {
+  if (bundles_.size() >= config_.max_bundles) {
+    ++bundles_dropped_;
+    return;
+  }
+  bundles_.push_back(snapshot(trigger, k, detail));
+}
+
+std::vector<PostmortemBundle> FlightRecorder::take_bundles() {
+  std::vector<PostmortemBundle> out = std::move(bundles_);
+  bundles_.clear();
+  return out;
+}
+
+void write_bundle(std::ostream& os, const PostmortemBundle& bundle) {
+  // Header.
+  os << '{';
+  write_key(os, "event", /*first=*/true);
+  os << "\"bundle\"";
+  write_key(os, "name");
+  os << '"' << kBundleName << '"';
+  write_key(os, "version");
+  os << PostmortemBundle::kSchemaVersion;
+  write_key(os, "trigger");
+  json::write_escaped(os, bundle.trigger);
+  write_key(os, "trigger_k");
+  os << bundle.trigger_k;
+  write_key(os, "detail");
+  json::write_escaped(os, bundle.detail);
+  write_key(os, "records");
+  os << bundle.records.size();
+  os << "}\n";
+
+  // Provenance.
+  const BundleProvenance& p = bundle.provenance;
+  os << '{';
+  write_key(os, "event", /*first=*/true);
+  os << "\"provenance\"";
+  write_key(os, "label");
+  json::write_escaped(os, p.label);
+  write_key(os, "platform");
+  json::write_escaped(os, p.platform);
+  write_key(os, "scenario");
+  json::write_escaped(os, p.scenario);
+  write_key(os, "description");
+  json::write_escaped(os, p.description);
+  write_key(os, "seed");
+  os << p.seed;
+  write_key(os, "iterations");
+  os << p.iterations;
+  write_key(os, "dt");
+  json::write_number(os, p.dt);
+  write_key(os, "linear_baseline");
+  os << (p.linear_baseline ? "true" : "false");
+  write_key(os, "likelihood_floor");
+  json::write_number(os, p.likelihood_floor);
+  write_key(os, "health_enabled");
+  os << (p.health_enabled ? "true" : "false");
+  write_key(os, "sensor_alpha");
+  json::write_number(os, p.sensor_alpha);
+  write_key(os, "actuator_alpha");
+  json::write_number(os, p.actuator_alpha);
+  write_key(os, "sensor_window");
+  os << p.sensor_window;
+  write_key(os, "sensor_criteria");
+  os << p.sensor_criteria;
+  write_key(os, "actuator_window");
+  os << p.actuator_window;
+  write_key(os, "actuator_criteria");
+  os << p.actuator_criteria;
+  write_key(os, "modes");
+  json::write_escaped(os, p.modes);
+  write_key(os, "sensors");
+  json::write_escaped(os, p.sensors);
+  write_key(os, "sensor_dims");
+  write_ints(os, p.sensor_dims);
+  write_key(os, "state_dim");
+  os << p.state_dim;
+  write_key(os, "input_dim");
+  os << p.input_dim;
+  os << "}\n";
+
+  // Warm-start snapshot: the first record's pre-step state. Per-record
+  // snapshots would multiply the file size for no replay benefit — stepping
+  // forward from the window start reproduces every later state exactly.
+  static const DetectorStateSnapshot kEmptySnapshot;
+  write_snapshot_line(
+      os, bundle.records.empty() ? 0 : bundle.records.front().k,
+      bundle.records.empty() ? kEmptySnapshot
+                             : bundle.records.front().pre_step);
+
+  for (const FlightRecord& r : bundle.records) {
+    os << '{';
+    write_key(os, "event", /*first=*/true);
+    os << "\"record\"";
+    write_key(os, "k");
+    os << r.k;
+    write_key(os, "u");
+    write_doubles(os, r.u);
+    write_key(os, "z");
+    write_doubles(os, r.z);
+    write_key(os, "availability");
+    json::write_escaped(os, r.availability);
+    write_key(os, "selected_mode");
+    os << r.selected_mode;
+    write_key(os, "mode_weights");
+    write_doubles(os, r.mode_weights);
+    write_key(os, "log_likelihoods");
+    write_doubles(os, r.log_likelihoods);
+    write_key(os, "innovation_norms");
+    write_doubles(os, r.innovation_norms);
+    write_key(os, "sensor_chi2");
+    json::write_number(os, r.sensor_chi2);
+    write_key(os, "sensor_threshold");
+    json::write_number(os, r.sensor_threshold);
+    write_key(os, "sensor_alarm");
+    os << (r.sensor_alarm ? "true" : "false");
+    write_key(os, "actuator_chi2");
+    json::write_number(os, r.actuator_chi2);
+    write_key(os, "actuator_threshold");
+    json::write_number(os, r.actuator_threshold);
+    write_key(os, "actuator_alarm");
+    os << (r.actuator_alarm ? "true" : "false");
+    write_key(os, "per_sensor_chi2");
+    write_doubles(os, r.per_sensor_chi2);
+    write_key(os, "per_sensor_threshold");
+    write_doubles(os, r.per_sensor_threshold);
+    write_key(os, "misbehaving");
+    json::write_escaped(os, r.misbehaving);
+    write_key(os, "sensor_anomaly");
+    write_doubles(os, r.sensor_anomaly);
+    write_key(os, "actuator_anomaly");
+    write_doubles(os, r.actuator_anomaly);
+    write_key(os, "mode_health");
+    json::write_escaped(os, r.mode_health);
+    write_key(os, "quarantined");
+    os << r.quarantined;
+    write_key(os, "containment");
+    os << (r.containment ? "true" : "false");
+    write_key(os, "truth_valid");
+    os << (r.truth_valid ? "true" : "false");
+    write_key(os, "truth_sensors");
+    json::write_escaped(os, r.truth_sensors);
+    write_key(os, "truth_actuator");
+    os << (r.truth_actuator ? "true" : "false");
+    os << "}\n";
+  }
+}
+
+PostmortemBundle read_bundle(std::istream& is) {
+  std::size_t line_no = 0;
+  PostmortemBundle bundle;
+
+  const Fields header = parse_line(is, line_no, "header");
+  ROBOADS_CHECK_EQ(header.string("event"), std::string("bundle"),
+                   "not a postmortem bundle header");
+  ROBOADS_CHECK_EQ(header.string("name"), std::string(kBundleName),
+                   "unknown bundle name");
+  ROBOADS_CHECK_EQ(header.integer("version"),
+                   static_cast<std::int64_t>(PostmortemBundle::kSchemaVersion),
+                   "unsupported bundle schema version");
+  bundle.trigger = header.string("trigger");
+  bundle.trigger_k = header.integer("trigger_k");
+  bundle.detail = header.string("detail");
+  const std::int64_t record_count = header.integer("records");
+
+  const Fields prov = parse_line(is, line_no, "provenance");
+  ROBOADS_CHECK_EQ(prov.string("event"), std::string("provenance"),
+                   "expected provenance line");
+  BundleProvenance& p = bundle.provenance;
+  p.label = prov.string("label");
+  p.platform = prov.string("platform");
+  p.scenario = prov.string("scenario");
+  p.description = prov.string("description");
+  p.seed = prov.integer("seed");
+  p.iterations = prov.integer("iterations");
+  p.dt = prov.number("dt");
+  p.linear_baseline = prov.boolean("linear_baseline");
+  p.likelihood_floor = prov.number("likelihood_floor");
+  p.health_enabled = prov.boolean("health_enabled");
+  p.sensor_alpha = prov.number("sensor_alpha");
+  p.actuator_alpha = prov.number("actuator_alpha");
+  p.sensor_window = prov.integer("sensor_window");
+  p.sensor_criteria = prov.integer("sensor_criteria");
+  p.actuator_window = prov.integer("actuator_window");
+  p.actuator_criteria = prov.integer("actuator_criteria");
+  p.modes = prov.string("modes");
+  p.sensors = prov.string("sensors");
+  p.sensor_dims = prov.integers("sensor_dims");
+  p.state_dim = prov.integer("state_dim");
+  p.input_dim = prov.integer("input_dim");
+
+  const Fields snap = parse_line(is, line_no, "snapshot");
+  ROBOADS_CHECK_EQ(snap.string("event"), std::string("snapshot"),
+                   "expected snapshot line");
+  DetectorStateSnapshot warm;
+  warm.state = snap.numbers("state");
+  warm.state_cov = snap.numbers("state_cov");
+  warm.weights = snap.numbers("weights");
+  warm.health = snap.integers("health");
+  warm.decision = snap.integers("decision");
+  warm.iteration = snap.integer("iteration");
+
+  bundle.records.reserve(static_cast<std::size_t>(record_count));
+  for (std::int64_t i = 0; i < record_count; ++i) {
+    const Fields f = parse_line(is, line_no, "record");
+    ROBOADS_CHECK_EQ(f.string("event"), std::string("record"),
+                     "expected record line");
+    FlightRecord r;
+    r.k = f.integer("k");
+    r.u = f.numbers("u");
+    r.z = f.numbers("z");
+    r.availability = f.string("availability");
+    r.selected_mode = f.integer("selected_mode");
+    r.mode_weights = f.numbers("mode_weights");
+    r.log_likelihoods = f.numbers("log_likelihoods");
+    r.innovation_norms = f.numbers("innovation_norms");
+    r.sensor_chi2 = f.number("sensor_chi2");
+    r.sensor_threshold = f.number("sensor_threshold");
+    r.sensor_alarm = f.boolean("sensor_alarm");
+    r.actuator_chi2 = f.number("actuator_chi2");
+    r.actuator_threshold = f.number("actuator_threshold");
+    r.actuator_alarm = f.boolean("actuator_alarm");
+    r.per_sensor_chi2 = f.numbers("per_sensor_chi2");
+    r.per_sensor_threshold = f.numbers("per_sensor_threshold");
+    r.misbehaving = f.string("misbehaving");
+    r.sensor_anomaly = f.numbers("sensor_anomaly");
+    r.actuator_anomaly = f.numbers("actuator_anomaly");
+    r.mode_health = f.string("mode_health");
+    r.quarantined = f.integer("quarantined");
+    r.containment = f.boolean("containment");
+    r.truth_valid = f.boolean("truth_valid");
+    r.truth_sensors = f.string("truth_sensors");
+    r.truth_actuator = f.boolean("truth_actuator");
+    bundle.records.push_back(std::move(r));
+  }
+  if (!bundle.records.empty()) bundle.records.front().pre_step = warm;
+  return bundle;
+}
+
+void write_bundle_file(const std::string& path, const PostmortemBundle& b) {
+  std::ofstream file(path);
+  ROBOADS_CHECK(file.good(), "cannot open bundle file '" + path + "'");
+  write_bundle(file, b);
+  file.flush();
+  ROBOADS_CHECK(!file.fail(), "error writing bundle file '" + path + "'");
+}
+
+PostmortemBundle read_bundle_file(const std::string& path) {
+  std::ifstream file(path);
+  ROBOADS_CHECK(file.good(), "cannot open bundle file '" + path + "'");
+  return read_bundle(file);
+}
+
+std::string bundle_filename(const PostmortemBundle& bundle,
+                            std::size_t ordinal) {
+  std::string label =
+      bundle.provenance.label.empty() ? "run" : bundle.provenance.label;
+  for (char& c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  std::ostringstream os;
+  os << label << "-b" << ordinal << "-" << bundle.trigger << "-k"
+     << bundle.trigger_k << ".jsonl";
+  return os.str();
+}
+
+}  // namespace roboads::obs

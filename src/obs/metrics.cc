@@ -144,6 +144,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     s.mean = h->mean();
     s.p50 = h->quantile(0.50);
     s.p90 = h->quantile(0.90);
+    s.p95 = h->quantile(0.95);
     s.p99 = h->quantile(0.99);
     s.max = h->max();
     s.bounds = h->bounds();
@@ -178,6 +179,8 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
       json::write_number(os, s.p50);
       os << ",\"p90\":";
       json::write_number(os, s.p90);
+      os << ",\"p95\":";
+      json::write_number(os, s.p95);
       os << ",\"p99\":";
       json::write_number(os, s.p99);
       os << ",\"max\":";

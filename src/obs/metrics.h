@@ -148,6 +148,7 @@ struct MetricSample {
   double mean = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   double max = 0.0;
   std::vector<double> bounds;

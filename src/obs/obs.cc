@@ -25,10 +25,16 @@ void write_file(const std::string& path, const char* what, WriteFn&& write) {
 Observability::Observability(ObsConfig config) : config_(std::move(config)) {
   if (config_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
   if (config_.trace) trace_ = std::make_unique<TraceSink>();
+  if (config_.record) {
+    FlightRecorderConfig recorder_config;
+    recorder_config.enabled = true;
+    recorder_config.window = config_.record_window;
+    recorder_ = std::make_unique<FlightRecorder>(recorder_config);
+  }
 }
 
 Instruments Observability::instruments() {
-  return Instruments{metrics_.get(), trace_.get()};
+  return Instruments{metrics_.get(), trace_.get(), recorder_.get()};
 }
 
 MetricsRegistry& Observability::metrics() {
@@ -39,6 +45,11 @@ MetricsRegistry& Observability::metrics() {
 TraceSink& Observability::trace() {
   ROBOADS_CHECK(trace_ != nullptr, "trace collection is disabled");
   return *trace_;
+}
+
+FlightRecorder& Observability::recorder() {
+  ROBOADS_CHECK(recorder_ != nullptr, "flight recorder is disabled");
+  return *recorder_;
 }
 
 void Observability::finish() {
@@ -56,6 +67,15 @@ void Observability::finish() {
     write_file(config_.metrics_jsonl_path, "metrics JSONL",
                [&](std::ostream& os) { metrics_->write_jsonl(os); });
   }
+  if (recorder_ != nullptr && !config_.record_out.empty()) {
+    const std::vector<PostmortemBundle>& bundles = recorder_->bundles();
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      const std::string path =
+          config_.record_out + bundle_filename(bundles[i], i);
+      write_bundle_file(path, bundles[i]);
+      bundle_paths_.push_back(path);
+    }
+  }
 }
 
 std::string Observability::report() const {
@@ -67,6 +87,15 @@ std::string Observability::report() const {
   }
   if (trace_ != nullptr) {
     os << "trace: " << trace_->size() << " events buffered\n";
+  }
+  if (recorder_ != nullptr) {
+    os << "recorder: " << recorder_->size() << "/"
+       << recorder_->config().window << " records held, "
+       << recorder_->bundles().size() << " bundle(s) captured";
+    if (recorder_->bundles_dropped() > 0) {
+      os << " (" << recorder_->bundles_dropped() << " dropped)";
+    }
+    os << "\n";
   }
   return os.str();
 }

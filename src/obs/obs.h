@@ -17,7 +17,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,17 +37,34 @@ struct ObsConfig {
   std::string trace_csv_path;
   std::string metrics_jsonl_path;
 
-  bool enabled() const { return metrics || trace; }
+  // Run the black-box flight recorder (obs/flight_recorder.h): a fixed-
+  // capacity ring of the last `record_window` detector iterations, frozen
+  // into postmortem bundles on alarms/quarantines/mission failures.
+  bool record = false;
+  std::size_t record_window = 256;
+  // Bundle filename prefix (may include a directory part) used by
+  // finish(); empty = keep captured bundles in memory only.
+  std::string record_out;
+
+  bool enabled() const { return metrics || trace || record; }
 };
 
 // Non-owning instrumentation handles. Null members disable that aspect;
 // value-default is fully disabled. Every instrumented component treats this
 // as optional — no component ever requires observation to run.
+//
+// The recorder handle is *per-mission* state (a single ring timeline):
+// sequential missions may share one, concurrent missions must not — batch
+// runners construct one recorder per job (eval/batch.cc) and drop any
+// inherited shared handle.
 struct Instruments {
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  FlightRecorder* recorder = nullptr;
 
-  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+  bool enabled() const {
+    return metrics != nullptr || trace != nullptr || recorder != nullptr;
+  }
 };
 
 class Observability {
@@ -60,18 +79,27 @@ class Observability {
   // Valid only for the aspects the config enabled.
   MetricsRegistry& metrics();
   TraceSink& trace();
+  FlightRecorder& recorder();
 
   // Writes the configured output artifacts (idempotent; flush + failbit
-  // checked, throws CheckError on I/O failure).
+  // checked, throws CheckError on I/O failure). Captured postmortem bundles
+  // are written one file each under the `record_out` prefix; the paths are
+  // available from bundle_paths() afterwards.
   void finish();
+  const std::vector<std::string>& bundle_paths() const {
+    return bundle_paths_;
+  }
 
-  // roboads_report text: the metrics summary plus a one-line trace tally.
+  // roboads_report text: the metrics summary plus one-line trace/recorder
+  // tallies.
   std::string report() const;
 
  private:
   ObsConfig config_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<TraceSink> trace_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::vector<std::string> bundle_paths_;
   bool finished_ = false;
 };
 

@@ -52,10 +52,11 @@ std::string render_report(const MetricsRegistry& registry) {
     char line[256];
     std::snprintf(line, sizeof(line),
                   "  %-34s n=%-8.0f total=%-10s mean=%-9s p50<=%-9s "
-                  "p99<=%-9s max=%s\n",
+                  "p95<=%-9s p99<=%-9s max=%s\n",
                   t->name.c_str(), t->value, fmt_ns(t->sum).c_str(),
                   fmt_ns(t->mean).c_str(), fmt_ns(t->p50).c_str(),
-                  fmt_ns(t->p99).c_str(), fmt_ns(t->max).c_str());
+                  fmt_ns(t->p95).c_str(), fmt_ns(t->p99).c_str(),
+                  fmt_ns(t->max).c_str());
     os << line;
   }
 

@@ -114,7 +114,18 @@ struct WorkflowConfig {
   // Observability handles (obs/obs.h; null = off). The runner records a
   // per-task wall-time histogram and a contained-failure counter; batch
   // callers additionally thread the handles into each mission's config.
+  // Any `recorder` handle here is never shared across jobs — the flight-
+  // recorder ring is a single mission timeline, so batch callers construct
+  // one private recorder per job from `recorder` below instead.
   obs::Instruments instruments;
+  // Per-job flight recording (obs/flight_recorder.h): when enabled, every
+  // batch job runs with its own FlightRecorder of this configuration and
+  // the bundles it freezes land on the job's result slot.
+  obs::FlightRecorderConfig recorder;
+  // When non-empty, frozen bundles are additionally written as JSONL files
+  // named `record_out + bundle_filename(...)` after the batch joins (set it
+  // to "dir/" or "dir/prefix-").
+  std::string record_out;
 };
 
 // One contained task failure from ScenarioBatchRunner::run_contained.

@@ -1,0 +1,85 @@
+// roboads_explain — render and verify postmortem bundles
+// (docs/OBSERVABILITY.md "Flight recorder & incident bundles").
+//
+//   roboads_explain [--verify] [--alarms-out=PATH] <bundle.jsonl>...
+//
+// For each bundle: prints the human-readable incident report — trigger,
+// provenance, ground-truth-vs-attribution, time-to-alarm, mode-likelihood
+// race, per-iteration timeline. With --verify the bundle's window is also
+// re-run through a freshly built detector (eval/replay.h) and every recorded
+// output is compared bit for bit; any divergence fails the run (exit 1).
+// --alarms-out writes the *replayed* per-iteration alarms of the first
+// bundle as "k,sensor_alarm,actuator_alarm" CSV, which lets CI diff the
+// replay against the live mission's alarm timeline.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/replay.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--verify] [--alarms-out=PATH] <bundle.jsonl>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using roboads::eval::ReplayResult;
+  bool verify = false;
+  std::string alarms_out;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (arg.rfind("--alarms-out=", 0) == 0) {
+      alarms_out = arg.substr(std::strlen("--alarms-out="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  bool all_identical = true;
+  bool alarms_written = false;
+  for (const std::string& path : paths) {
+    try {
+      const roboads::obs::PostmortemBundle bundle =
+          roboads::obs::read_bundle_file(path);
+      ReplayResult replay;
+      if (verify) replay = roboads::eval::replay_bundle(bundle);
+      std::cout << "bundle: " << path << "\n"
+                << roboads::eval::explain_bundle(bundle,
+                                                 verify ? &replay : nullptr);
+      if (verify && !replay.identical()) all_identical = false;
+      if (verify && !alarms_out.empty() && !alarms_written) {
+        std::ofstream os(alarms_out);
+        if (!os) {
+          std::fprintf(stderr, "cannot write %s\n", alarms_out.c_str());
+          return 2;
+        }
+        os << "k,sensor_alarm,actuator_alarm\n";
+        for (const roboads::obs::FlightRecord& r : replay.records) {
+          os << r.k << ',' << (r.sensor_alarm ? 1 : 0) << ','
+             << (r.actuator_alarm ? 1 : 0) << '\n';
+        }
+        alarms_written = true;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+  return all_identical ? 0 : 1;
+}
