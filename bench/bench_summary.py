@@ -2,26 +2,64 @@
 """Reduces google-benchmark JSON output to the compact BENCH_PERF.json map.
 
 Usage: bench_summary.py <benchmark_json_in> <summary_json_out>
+           [--build-type=TYPE] [--cxx-flags=FLAGS]
+           [--require-build-type=TYPE]
 
 The summary holds one entry per benchmark: real time in nanoseconds, plus the
 iteration count the number was averaged over. Counters (modes, threads) are
 carried through when present so the engine fan-out rows stay self-describing.
+
+--build-type / --cxx-flags record the *project's* compiler settings (from the
+bench tree's CMakeCache) in the summary context — google-benchmark's own
+`library_build_type` only describes how the benchmark library was built, not
+this project. --require-build-type makes a mismatch a hard error so a perf
+snapshot accidentally taken from a debug-ish tree can never land in
+BENCH_PERF.json.
 """
 import json
 import sys
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    positional = []
+    build_type = ""
+    cxx_flags = ""
+    require_build_type = ""
+    for arg in sys.argv[1:]:
+        if arg.startswith("--build-type="):
+            build_type = arg[len("--build-type="):]
+        elif arg.startswith("--cxx-flags="):
+            cxx_flags = arg[len("--cxx-flags="):]
+        elif arg.startswith("--require-build-type="):
+            require_build_type = arg[len("--require-build-type="):]
+        elif arg.startswith("--"):
+            print(f"bench_summary: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            positional.append(arg)
+    if len(positional) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+
+    if require_build_type and build_type != require_build_type:
+        print(
+            f"bench_summary: refusing to record a perf snapshot from a "
+            f"'{build_type or 'unknown'}' build; expected "
+            f"'{require_build_type}'. Configure the bench tree with "
+            f"-DCMAKE_BUILD_TYPE={require_build_type} (see ci.sh run_bench).",
+            file=sys.stderr,
+        )
+        return 1
+
+    with open(positional[0]) as f:
         raw = json.load(f)
 
     summary = {
         "context": {
             "date": raw.get("context", {}).get("date", ""),
             "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+            "build_type": build_type,
+            "cxx_flags": cxx_flags,
             "library_build_type": raw.get("context", {}).get(
                 "library_build_type", ""
             ),
@@ -39,11 +77,11 @@ def main() -> int:
                 entry[counter] = b[counter]
         summary["benchmarks"][b["name"]] = entry
 
-    with open(sys.argv[2], "w") as f:
+    with open(positional[1], "w") as f:
         json.dump(summary, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"bench_summary: wrote {len(summary['benchmarks'])} entries "
-          f"to {sys.argv[2]}")
+          f"to {positional[1]}")
     return 0
 
 

@@ -18,8 +18,10 @@
 #   ./ci.sh tsan       # TSan build + ctest only
 #   ./ci.sh ubsan      # UBSan build + ctest only
 #   ./ci.sh bench      # quick perf snapshot only (writes BENCH_PERF.json)
+#   ./ci.sh fuzz-smoke # ~30 s scenario-DSL coverage fuzz + corpus replay
 #
-# JOBS=<n> overrides the parallelism (default: nproc).
+# JOBS=<n> overrides the parallelism (default: nproc). FUZZ_SEED=<n> varies
+# the fuzz-smoke campaign seed (default 1; CI can rotate it per run).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -72,13 +74,39 @@ run_obs_overhead() {
 # threads), and the full detector step on both platforms. Reduced to
 # BENCH_PERF.json at the repo root (docs/PERFORMANCE.md tracks the history).
 # ~0.2 s per benchmark keeps this fast enough to run on every normal pass.
+#
+# Perf numbers are only comparable across runs when the compiler settings
+# match, so the bench always builds in its own Release-pinned tree
+# (build-bench) regardless of how the test tree was configured; the build
+# type and optimization flags are recorded in BENCH_PERF.json and
+# bench_summary.py fails the run if the cache says anything but Release.
 run_bench() {
-  local dir="$1"
+  local dir="build-bench"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$dir" -j "$JOBS" --target perf_nuise
+  local build_type cxx_flags
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$dir/CMakeCache.txt")"
+  cxx_flags="$(sed -n 's/^CMAKE_CXX_FLAGS_RELEASE:[^=]*=//p' "$dir/CMakeCache.txt")"
   "$dir/bench/perf_nuise" \
     --benchmark_filter='BM_NuiseStepKhepera|BM_EngineStepKhepera|BM_EngineStepCompleteModeSet/(1|4)/real_time|BM_FullDetectorStepKhepera|BM_FullDetectorStepTamiya' \
     --benchmark_min_time=0.2 \
     --benchmark_format=json > "$dir/bench_perf_raw.json"
-  python3 bench/bench_summary.py "$dir/bench_perf_raw.json" BENCH_PERF.json
+  python3 bench/bench_summary.py "$dir/bench_perf_raw.json" BENCH_PERF.json \
+    --build-type="$build_type" --cxx-flags="$cxx_flags" \
+    --require-build-type=Release
+}
+
+# Scenario-DSL coverage fuzz (docs/SCENARIOS.md): a time-boxed (~30 s)
+# randomized-campaign sweep that must hold every fuzzer invariant, then a
+# replay of the checked-in shrunk-spec corpus. FUZZ_SEED rotates coverage.
+run_fuzz_smoke() {
+  local dir="$1"
+  cmake -B "$dir" -S .
+  cmake --build "$dir" -j "$JOBS" --target roboads_fuzz fuzz_corpus_test
+  "$dir/tools/roboads_fuzz" --seed="${FUZZ_SEED:-1}" --campaigns=250 \
+    --iterations=120
+  "$dir/tests/fuzz_corpus_test"
+  echo "fuzz smoke: invariants held and corpus replayed green"
 }
 
 case "$MODE" in
@@ -87,25 +115,23 @@ case "$MODE" in
     run_obs_smoke build
     run_forensics_smoke build
     run_obs_overhead build
-    run_bench build
+    run_bench
     ;;
   tsan)   run_pass build-tsan -DRoboADS_SANITIZE=thread ;;
   ubsan)  run_pass build-ubsan -DRoboADS_SANITIZE=undefined ;;
-  bench)
-    cmake -B build -S .
-    cmake --build build -j "$JOBS" --target perf_nuise
-    run_bench build
-    ;;
+  bench)  run_bench ;;
+  fuzz-smoke) run_fuzz_smoke build ;;
   all)
     run_pass build
     run_obs_smoke build
     run_forensics_smoke build
     run_obs_overhead build
-    run_bench build
+    run_bench
+    run_fuzz_smoke build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|ubsan|bench|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

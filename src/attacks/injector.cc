@@ -98,6 +98,28 @@ void RampInjector::corrupt(std::size_t k, Vector& data) {
   data += slope_ * steps;
 }
 
+NoiseInjector::NoiseInjector(Window window, Vector stddev, std::uint64_t seed)
+    : Injector(window), stddev_(std::move(stddev)), engine_(seed) {
+  ROBOADS_CHECK(!stddev_.empty(), "noise stddev must be non-empty");
+  for (std::size_t i = 0; i < stddev_.size(); ++i) {
+    ROBOADS_CHECK(stddev_[i] >= 0.0, "noise stddev must be non-negative");
+  }
+}
+
+std::string NoiseInjector::describe() const {
+  std::ostringstream os;
+  os << "noise " << stddev_;
+  return os.str();
+}
+
+void NoiseInjector::corrupt(std::size_t, Vector& data) {
+  ROBOADS_CHECK_EQ(data.size(), stddev_.size(), "noise target size mismatch");
+  std::normal_distribution<double> normal(0.0, 1.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (stddev_[i] > 0.0) data[i] += stddev_[i] * normal(engine_);
+  }
+}
+
 BlockSectorInjector::BlockSectorInjector(Window window,
                                          std::size_t first_beam,
                                          std::size_t last_beam,

@@ -10,8 +10,10 @@
 // timeline the evaluation harness scores against.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -131,6 +133,25 @@ class RampInjector final : public Injector {
 
  private:
   Vector slope_;
+};
+
+// Adds zero-mean Gaussian noise on top of the clean reading — jamming that
+// degrades rather than replaces a signal (ultrasonic interference, RF noise
+// floor raising). Owns a private seeded stream so a compiled scenario is
+// deterministic for a fixed seed regardless of what else draws from the
+// mission Rng.
+class NoiseInjector final : public Injector {
+ public:
+  // `stddev[i]` scales the noise added to component i (0 = untouched).
+  NoiseInjector(Window window, Vector stddev, std::uint64_t seed);
+  std::string describe() const override;
+
+ protected:
+  void corrupt(std::size_t, Vector& data) override;
+
+ private:
+  Vector stddev_;
+  std::mt19937_64 engine_;
 };
 
 // Blocks a sector of raw LiDAR beams (#7: physically blocking laser

@@ -1,0 +1,69 @@
+// Lowers ScenarioSpecs onto the existing attacks:: injectors and the
+// evaluation platforms, with full semantic validation (SpecError on any
+// invalid spec — unknown platform or workflow, onset beyond the mission
+// horizon, zero duration, magnitude dimension mismatch). The compiled
+// attacks::Scenario is proven bit-identical to the hand-written enum
+// batteries by tests/scenario_equivalence_test.cc.
+#pragma once
+
+#include <memory>
+
+#include "eval/batch.h"
+#include "eval/platform.h"
+#include "scenario/spec.h"
+
+namespace roboads::scenario {
+
+// What the compiler needs to know about a platform beyond its Platform
+// interface: the actuation workflow's name and command dimension, and the
+// raw-scan geometry for LiDAR attacks.
+struct PlatformTraits {
+  std::string actuator_workflow;
+  std::size_t actuator_dim = 0;
+  std::size_t lidar_beams = 0;  // 0 = platform has no raw-scan target
+  double lidar_fov = 0.0;
+};
+
+// Known platform names, in registry order.
+std::vector<std::string> platform_names();
+
+// Builds a fresh default-configured platform; throws SpecError for unknown
+// names.
+std::unique_ptr<eval::Platform> make_platform(const std::string& name);
+
+PlatformTraits platform_traits(const std::string& name);
+
+// Validates `spec` against the platform and compiles it into a Scenario
+// with fresh stateful injectors (build one per mission run, like the enum
+// battery factories). Attachment order follows spec.attacks order so the
+// compiled scenario is injector-for-injector identical to a hand-built one.
+attacks::Scenario compile_spec(const ScenarioSpec& spec,
+                               const eval::Platform& platform,
+                               const PlatformTraits& traits);
+
+// Convenience: builds the platform from spec.platform, compiles, and
+// discards the platform. Use the three-argument overload when running
+// missions (the mission needs the same platform instance).
+attacks::Scenario compile_spec(const ScenarioSpec& spec);
+
+// Validation without constructing injectors; throws SpecError on the first
+// problem, returns normally for a compilable spec.
+void validate_spec(const ScenarioSpec& spec);
+
+// One compiled-and-flown spec: mission + score on a fresh default platform,
+// deterministic per spec.seed.
+struct SpecRun {
+  std::string name;
+  eval::MissionResult result;
+  eval::ScenarioScore score;
+};
+
+SpecRun run_spec(const ScenarioSpec& spec);
+
+// True when any non-actuator (resp. actuator) misbehavior was correctly
+// detected per the score's delay records — the frontier and fuzzer's
+// "caught" predicate, shared with bench/evasive_attacks' original logic.
+bool sensor_detected(const eval::ScenarioScore& score);
+bool actuator_detected(const eval::ScenarioScore& score);
+
+}  // namespace roboads::scenario

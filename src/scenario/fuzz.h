@@ -1,0 +1,98 @@
+// Coverage fuzzer for the detection pipeline: randomizes attack campaigns
+// over the DSL, flies each one as a contained mission, and checks system
+// invariants that must hold for *any* valid spec — not detection quality,
+// but structural soundness. Violations are shrunk to minimal replayable
+// specs suitable for tests/data/fuzz_corpus/ (docs/SCENARIOS.md describes
+// the promotion workflow; ./ci.sh fuzz-smoke runs a time-boxed sweep).
+//
+// Invariants checked per campaign:
+//   - the generated spec compiles (the generator emits only valid specs);
+//   - the mission completes — no crash, no MissionError;
+//   - no NaN escape: ground truth, readings, state estimates and χ²
+//     statistics stay finite every iteration;
+//   - quarantine implies a health event: the reported quarantined_modes
+//     count equals the number of kQuarantined entries in mode_health;
+//   - alarm attribution is consistent: misbehaving_sensors only under an
+//     active sensor alarm, sorted, unique, in suite range, and matching the
+//     per-sensor verdicts;
+//   - compiled ground truth matches the spec: the mission's recorded
+//     truth_at equals spec_truth_at for every iteration (compiler
+//     cross-check, independent path through the attack windows).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "scenario/compile.h"
+
+namespace roboads::scenario {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t campaigns = 50;       // random campaigns per run
+  std::size_t iterations = 120;     // mission length of generated campaigns
+  std::size_t max_attacks = 3;      // attacks per campaign, 1..max
+  std::vector<std::string> platforms = {"khepera", "tamiya"};
+  std::size_t num_threads = 0;      // WorkflowConfig semantics (0 = auto)
+  std::size_t shrink_budget = 120;  // extra missions allowed per shrink
+};
+
+// One failed invariant: `invariant` is a stable identifier (e.g.
+// "nan-escape", "truth-mismatch"), `detail` the human-readable specifics.
+struct InvariantViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+struct FuzzFinding {
+  std::size_t campaign_index = 0;
+  InvariantViolation violation;
+  ScenarioSpec spec;    // the campaign as generated
+  ScenarioSpec shrunk;  // greedily minimized reproducer (same invariant)
+};
+
+struct FuzzReport {
+  std::size_t campaigns_run = 0;
+  std::size_t shrink_missions = 0;  // missions spent minimizing findings
+  std::vector<FuzzFinding> findings;
+  bool clean() const { return findings.empty(); }
+};
+
+// Deterministic campaign generator: always yields a spec that passes
+// validate_spec. `index` picks the platform round-robin and names the spec.
+ScenarioSpec random_campaign(std::mt19937_64& engine,
+                             const std::string& platform, std::size_t index,
+                             const FuzzConfig& config);
+
+// Compiles and flies `spec`, checks every invariant above; nullopt = clean.
+std::optional<InvariantViolation> check_campaign(const ScenarioSpec& spec);
+
+// Greedy shrink: repeatedly tries dropping attacks, shortening the mission,
+// zeroing magnitude components and simplifying windows, keeping any
+// candidate that still reproduces the same invariant violation. Spends at
+// most `budget` missions; returns `spec` unchanged if nothing smaller
+// reproduces.
+ScenarioSpec shrink_campaign(const ScenarioSpec& spec,
+                             const InvariantViolation& violation,
+                             std::size_t budget,
+                             std::size_t* missions_spent = nullptr);
+
+// The shrink loop with the invariant check injected — unit-testable
+// against synthetic violations (tests/scenario_fuzz_test.cc). Candidates
+// still must pass validate_spec before `check` is consulted.
+using CampaignCheck =
+    std::function<std::optional<InvariantViolation>(const ScenarioSpec&)>;
+ScenarioSpec shrink_campaign_with(const ScenarioSpec& spec,
+                                  const InvariantViolation& violation,
+                                  const CampaignCheck& check,
+                                  std::size_t budget,
+                                  std::size_t* missions_spent = nullptr);
+
+// Full run: generate, fly contained (campaign order never depends on the
+// worker count), shrink each finding. Deterministic per config.
+FuzzReport run_fuzzer(const FuzzConfig& config);
+
+}  // namespace roboads::scenario

@@ -1,0 +1,24 @@
+// The legacy scenario batteries re-expressed as ScenarioSpecs: the eleven
+// Table II Khepera scenarios, the five extended-taxonomy scenarios, and the
+// seven Tamiya §V-D scenarios. tests/scenario_equivalence_test.cc proves
+// each compiles to a mission bit-identical to its hand-written enum
+// counterpart in eval::KheperaPlatform / eval::TamiyaPlatform.
+#pragma once
+
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace roboads::scenario {
+
+// Table II scenario #n (1-based, 1..11); throws SpecError outside the range.
+ScenarioSpec khepera_table2_spec(std::size_t number);
+
+std::vector<ScenarioSpec> khepera_table2_specs();   // #1..#11
+std::vector<ScenarioSpec> khepera_extended_specs(); // X1..X5
+std::vector<ScenarioSpec> tamiya_battery_specs();   // T1..T7
+
+// The full library, Khepera Table II first, then extended, then Tamiya.
+std::vector<ScenarioSpec> all_library_specs();
+
+}  // namespace roboads::scenario

@@ -1,0 +1,83 @@
+// Replays the checked-in fuzz corpus (tests/data/fuzz_corpus/): every
+// top-level .spec file must parse, validate, fly and hold all fuzzer
+// invariants; every file under invalid/ must parse syntactically but be
+// rejected by the semantic validator with a SpecError — these pin the
+// compiler's edge-case diagnostics (zero-duration windows, out-of-range
+// onsets, dimension mismatches) against regression.
+//
+// Corpus promotion workflow: docs/SCENARIOS.md.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/fuzz.h"
+#include "scenario/spec.h"
+
+#ifndef ROBOADS_FUZZ_CORPUS_DIR
+#error "ROBOADS_FUZZ_CORPUS_DIR must point at tests/data/fuzz_corpus"
+#endif
+
+namespace roboads::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> spec_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".spec") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(FuzzCorpusTest, CorpusSpecsReplayGreen) {
+  const std::vector<fs::path> files =
+      spec_files(fs::path(ROBOADS_FUZZ_CORPUS_DIR));
+  ASSERT_FALSE(files.empty()) << "empty corpus at " << ROBOADS_FUZZ_CORPUS_DIR;
+  for (const fs::path& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = read_file(path);
+    ScenarioSpec spec;
+    ASSERT_NO_THROW(spec = parse(text));
+    ASSERT_NO_THROW(validate_spec(spec));
+    // Corpus files are canonical: reserializing must reproduce them.
+    EXPECT_EQ(serialize(spec), text);
+    const std::optional<InvariantViolation> violation = check_campaign(spec);
+    EXPECT_EQ(violation, std::nullopt)
+        << violation->invariant << ": " << violation->detail;
+  }
+}
+
+TEST(FuzzCorpusTest, InvalidCorpusSpecsAreRejectedWithSpecError) {
+  const std::vector<fs::path> files =
+      spec_files(fs::path(ROBOADS_FUZZ_CORPUS_DIR) / "invalid");
+  ASSERT_GE(files.size(), 2u)
+      << "invalid corpus must at least pin the zero-duration and "
+         "out-of-range-onset compiler edge cases";
+  for (const fs::path& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    ScenarioSpec spec;
+    // Syntactically fine — the *semantic* validator must reject them.
+    ASSERT_NO_THROW(spec = parse(read_file(path)));
+    EXPECT_THROW(validate_spec(spec), SpecError);
+  }
+}
+
+}  // namespace
+}  // namespace roboads::scenario

@@ -1,0 +1,129 @@
+// Proves the spec-compiled path is bit-identical to the hand-written enum
+// batteries: for every Table II, extended and Tamiya scenario, the mission
+// flown from the compiled ScenarioSpec produces byte-equal trace CSV
+// (alarms, modes, estimates, attributions, ground truth — every column) and
+// an identical score, for the same platform, seed and iteration count.
+//
+// This is the contract that lets the frontier driver and the fuzzer build
+// campaigns out of specs while every existing golden trace, bench table and
+// paper number keeps meaning the same thing.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/khepera.h"
+#include "eval/tamiya.h"
+#include "eval/trace_io.h"
+#include "scenario/compile.h"
+#include "scenario/library.h"
+
+namespace roboads::scenario {
+namespace {
+
+void expect_equal_scores(const eval::ScenarioScore& enum_score,
+                         const eval::ScenarioScore& spec_score,
+                         const std::string& label) {
+  EXPECT_EQ(enum_score.sensor_condition_sequence,
+            spec_score.sensor_condition_sequence)
+      << label;
+  EXPECT_EQ(enum_score.actuator_condition_sequence,
+            spec_score.actuator_condition_sequence)
+      << label;
+  EXPECT_EQ(enum_score.sensor.true_positives, spec_score.sensor.true_positives)
+      << label;
+  EXPECT_EQ(enum_score.sensor.false_positives,
+            spec_score.sensor.false_positives)
+      << label;
+  EXPECT_EQ(enum_score.sensor.true_negatives, spec_score.sensor.true_negatives)
+      << label;
+  EXPECT_EQ(enum_score.sensor.false_negatives,
+            spec_score.sensor.false_negatives)
+      << label;
+  EXPECT_EQ(enum_score.actuator.true_positives,
+            spec_score.actuator.true_positives)
+      << label;
+  EXPECT_EQ(enum_score.actuator.false_positives,
+            spec_score.actuator.false_positives)
+      << label;
+  ASSERT_EQ(enum_score.delays.size(), spec_score.delays.size()) << label;
+  for (std::size_t i = 0; i < enum_score.delays.size(); ++i) {
+    EXPECT_EQ(enum_score.delays[i].label, spec_score.delays[i].label) << label;
+    EXPECT_EQ(enum_score.delays[i].seconds, spec_score.delays[i].seconds)
+        << label;
+  }
+}
+
+// Runs the enum-built and spec-compiled scenarios through the same mission
+// on the same platform instance and requires byte-identical traces.
+void expect_equivalent(const eval::Platform& platform,
+                       const attacks::Scenario& enum_scenario,
+                       const ScenarioSpec& spec, std::uint64_t seed,
+                       std::size_t iterations) {
+  ASSERT_EQ(spec.name, enum_scenario.name());
+
+  const attacks::Scenario compiled =
+      compile_spec(spec, platform, platform_traits(spec.platform));
+
+  eval::MissionConfig config;
+  config.iterations = iterations;
+  config.seed = seed;
+  const eval::MissionResult enum_result =
+      eval::run_mission(platform, enum_scenario, config);
+  const eval::MissionResult spec_result =
+      eval::run_mission(platform, compiled, config);
+
+  std::ostringstream enum_csv, spec_csv;
+  eval::write_trace_csv(enum_csv, enum_result, platform);
+  eval::write_trace_csv(spec_csv, spec_result, platform);
+  EXPECT_EQ(enum_csv.str(), spec_csv.str()) << spec.name;
+
+  expect_equal_scores(eval::score_mission(enum_result, platform),
+                      eval::score_mission(spec_result, platform), spec.name);
+}
+
+TEST(ScenarioEquivalenceTest, Table2SpecsMatchEnumScenarios) {
+  const eval::KheperaPlatform platform;
+  for (std::size_t n = 1; n <= 11; ++n) {
+    // Legacy bench seeds (bench/table2_khepera_scenarios.cc): 1000 + n.
+    expect_equivalent(platform, platform.table2_scenario(n),
+                      khepera_table2_spec(n), 1000 + n, 250);
+  }
+}
+
+TEST(ScenarioEquivalenceTest, ExtendedSpecsMatchEnumScenarios) {
+  const eval::KheperaPlatform platform;
+  const std::vector<attacks::Scenario> enum_battery =
+      platform.extended_scenarios();
+  const std::vector<ScenarioSpec> specs = khepera_extended_specs();
+  ASSERT_EQ(enum_battery.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Legacy bench seeds (bench/extended_scenarios.cc): 7100 + i.
+    expect_equivalent(platform, enum_battery[i], specs[i], 7100 + i, 250);
+  }
+}
+
+TEST(ScenarioEquivalenceTest, TamiyaSpecsMatchEnumScenarios) {
+  const eval::TamiyaPlatform platform;
+  const std::vector<attacks::Scenario> enum_battery =
+      platform.scenario_battery();
+  const std::vector<ScenarioSpec> specs = tamiya_battery_specs();
+  ASSERT_EQ(enum_battery.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Legacy bench seeds (bench/tamiya_scenarios.cc): 9000 + i.
+    expect_equivalent(platform, enum_battery[i], specs[i], 9000 + i, 250);
+  }
+}
+
+// The equivalence must also survive a serialization round trip: corpus
+// files are text, so the text form has to carry the full campaign.
+TEST(ScenarioEquivalenceTest, SerializedSpecStillMatchesEnumScenario) {
+  const eval::KheperaPlatform platform;
+  const ScenarioSpec reparsed =
+      parse(serialize(khepera_table2_spec(8)));
+  expect_equivalent(platform, platform.table2_scenario(8), reparsed, 88, 200);
+}
+
+}  // namespace
+}  // namespace roboads::scenario

@@ -1,0 +1,127 @@
+// Unit tests for the stealth-frontier bisection core against a synthetic
+// monotone detector (no missions flown): bracket repair in both directions,
+// convergence to the decision threshold, degenerate axes, and probe-record
+// bookkeeping. The real-mission path is exercised by bench/stealth_frontier.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "scenario/frontier.h"
+
+namespace roboads::scenario {
+namespace {
+
+FrontierAxis test_axis(double lo, double hi) {
+  FrontierAxis axis;
+  axis.id = "synthetic";
+  axis.attack_class = "bias";
+  axis.platform = "khepera";
+  axis.channel = "sensor";
+  axis.unit = "meters";
+  axis.lo = lo;
+  axis.hi = hi;
+  return axis;
+}
+
+// Detector caught iff magnitude >= threshold; fixed delay when caught.
+ProbeFn step_detector(double threshold, std::size_t* probes = nullptr) {
+  return [threshold, probes](double m) {
+    if (probes != nullptr) ++*probes;
+    FrontierProbe p;
+    p.magnitude = m;
+    p.detected = m >= threshold;
+    if (p.detected) p.delay_seconds = 0.5;
+    return p;
+  };
+}
+
+TEST(FrontierTest, BisectsMonotoneBoundary) {
+  FrontierConfig config;
+  config.bisection_steps = 24;
+  const FrontierResult result =
+      map_frontier_with(test_axis(0.01, 1.0), step_detector(0.37), config);
+
+  EXPECT_FALSE(result.all_detected);
+  EXPECT_FALSE(result.none_detected);
+  EXPECT_LT(result.undetected_max, 0.37);
+  EXPECT_GE(result.caught_min, 0.37);
+  EXPECT_LT(result.caught_min - result.undetected_max, 1e-4);
+  ASSERT_TRUE(result.delay_at_caught_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*result.delay_at_caught_seconds, 0.5);
+}
+
+TEST(FrontierTest, RecordsEveryProbeInOrder) {
+  FrontierConfig config;
+  config.bisection_steps = 5;
+  std::size_t probes = 0;
+  const FrontierResult result = map_frontier_with(
+      test_axis(0.0, 1.0), step_detector(0.4, &probes), config);
+  EXPECT_EQ(result.probes.size(), probes);
+  // lo, hi, then the bisection midpoints.
+  ASSERT_GE(result.probes.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.probes[0].magnitude, 0.0);
+  EXPECT_DOUBLE_EQ(result.probes[1].magnitude, 1.0);
+  for (const FrontierProbe& p : result.probes) {
+    EXPECT_EQ(p.detected, p.magnitude >= 0.4);
+  }
+}
+
+TEST(FrontierTest, ExpandsBracketUpwardWhenHiIsStealthy) {
+  // Boundary above the initial bracket: hi grows ×4 until caught.
+  const FrontierResult result =
+      map_frontier_with(test_axis(0.1, 1.0), step_detector(5.0));
+  EXPECT_FALSE(result.none_detected);
+  EXPECT_LT(result.undetected_max, 5.0);
+  EXPECT_GE(result.caught_min, 5.0);
+}
+
+TEST(FrontierTest, ExpandsBracketDownwardWhenLoIsCaught) {
+  // Boundary below the initial bracket: lo shrinks ×0.25 until stealthy.
+  const FrontierResult result =
+      map_frontier_with(test_axis(0.1, 1.0), step_detector(0.004));
+  EXPECT_FALSE(result.all_detected);
+  EXPECT_LT(result.undetected_max, 0.004);
+  EXPECT_GE(result.caught_min, 0.004);
+}
+
+TEST(FrontierTest, FlagsAxisWhereEverythingIsDetected) {
+  const FrontierResult result =
+      map_frontier_with(test_axis(0.1, 1.0), step_detector(0.0));
+  EXPECT_TRUE(result.all_detected);
+  EXPECT_FALSE(result.none_detected);
+  ASSERT_TRUE(result.delay_at_caught_seconds.has_value());
+}
+
+TEST(FrontierTest, FlagsAxisWhereNothingIsDetected) {
+  FrontierConfig config;
+  config.max_bracket_expansions = 3;
+  const FrontierResult result = map_frontier_with(
+      test_axis(0.1, 1.0),
+      step_detector(std::numeric_limits<double>::infinity()), config);
+  EXPECT_TRUE(result.none_detected);
+  EXPECT_FALSE(result.all_detected);
+  EXPECT_FALSE(result.delay_at_caught_seconds.has_value());
+}
+
+TEST(FrontierTest, StandardAxesCoverBothChannelsOnBothPlatforms) {
+  for (const std::string platform : {"khepera", "tamiya"}) {
+    bool sensor = false, actuator = false;
+    for (const FrontierAxis& axis : standard_axes(platform)) {
+      EXPECT_EQ(axis.platform, platform);
+      EXPECT_LT(axis.lo, axis.hi) << axis.id;
+      ASSERT_TRUE(static_cast<bool>(axis.make)) << axis.id;
+      // Every axis family must produce a compilable spec at its endpoints.
+      EXPECT_NO_THROW(validate_spec(axis.make(axis.lo))) << axis.id;
+      EXPECT_NO_THROW(validate_spec(axis.make(axis.hi))) << axis.id;
+      sensor |= axis.channel == "sensor";
+      actuator |= axis.channel == "actuator";
+    }
+    EXPECT_TRUE(sensor) << platform;
+    EXPECT_TRUE(actuator) << platform;
+  }
+  EXPECT_THROW(standard_axes("turtlebot"), SpecError);
+}
+
+}  // namespace
+}  // namespace roboads::scenario

@@ -1,0 +1,131 @@
+// Coverage fuzzer CLI (docs/SCENARIOS.md; ./ci.sh fuzz-smoke).
+//
+// Randomizes attack campaigns over the scenario DSL, flies each one as a
+// contained mission, checks the fuzzer invariants (scenario/fuzz.h), and
+// shrinks any violation to a minimal replayable spec. Exit status: 0 when
+// every campaign held the invariants, 1 when there are findings, 2 on
+// usage errors.
+//
+//   roboads_fuzz [--seed=N] [--campaigns=N] [--iterations=N]
+//                [--max-attacks=N] [--platform=NAME] [--threads=N]
+//                [--corpus-out=DIR]
+//
+// --platform may repeat; default is every known platform. --corpus-out
+// writes each finding's shrunk spec as DIR/<invariant>-<index>.spec, ready
+// to check into tests/data/fuzz_corpus/ once the underlying bug is fixed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/fuzz.h"
+#include "scenario/spec.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--seed=N] [--campaigns=N] [--iterations=N] "
+               "[--max-attacks=N] [--platform=NAME]... [--threads=N] "
+               "[--corpus-out=DIR]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::size_t parse_count(const char* argv0, const char* flag,
+                        const char* value, bool allow_zero) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*value == '\0' || end == value || *end != '\0') {
+    usage_error(argv0, std::string(flag) + " expects a non-negative "
+                                           "integer, got \"" +
+                           value + "\"");
+  }
+  if (!allow_zero && parsed == 0) {
+    usage_error(argv0, std::string(flag) + " must be positive");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using roboads::scenario::FuzzConfig;
+  using roboads::scenario::FuzzFinding;
+  using roboads::scenario::FuzzReport;
+
+  FuzzConfig config;
+  config.platforms.clear();
+  std::string corpus_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = parse_count(argv[0], "--seed", arg + 7, true);
+    } else if (std::strncmp(arg, "--campaigns=", 12) == 0) {
+      config.campaigns = parse_count(argv[0], "--campaigns", arg + 12, false);
+    } else if (std::strncmp(arg, "--iterations=", 13) == 0) {
+      config.iterations =
+          parse_count(argv[0], "--iterations", arg + 13, false);
+    } else if (std::strncmp(arg, "--max-attacks=", 14) == 0) {
+      config.max_attacks =
+          parse_count(argv[0], "--max-attacks", arg + 14, false);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.num_threads = parse_count(argv[0], "--threads", arg + 10, true);
+    } else if (std::strncmp(arg, "--platform=", 11) == 0) {
+      config.platforms.emplace_back(arg + 11);
+    } else if (std::strncmp(arg, "--corpus-out=", 13) == 0) {
+      corpus_out = arg + 13;
+      if (corpus_out.empty()) {
+        usage_error(argv[0], "--corpus-out expects a directory");
+      }
+    } else {
+      usage_error(argv[0], std::string("unknown argument \"") + arg + "\"");
+    }
+  }
+  if (config.platforms.empty()) {
+    config.platforms = roboads::scenario::platform_names();
+  }
+  for (const std::string& platform : config.platforms) {
+    roboads::scenario::platform_traits(platform);  // throws on a bad name
+  }
+
+  std::printf("fuzzing %zu campaigns (seed %llu, %zu iterations, up to %zu "
+              "attacks) over:",
+              config.campaigns,
+              static_cast<unsigned long long>(config.seed),
+              config.iterations, config.max_attacks);
+  for (const std::string& platform : config.platforms) {
+    std::printf(" %s", platform.c_str());
+  }
+  std::printf("\n");
+
+  const FuzzReport report = roboads::scenario::run_fuzzer(config);
+  std::printf("%zu campaigns flown, %zu findings, %zu shrink missions\n",
+              report.campaigns_run, report.findings.size(),
+              report.shrink_missions);
+
+  for (const FuzzFinding& finding : report.findings) {
+    std::printf("\n== finding: %s (campaign %zu)\n  %s\n",
+                finding.violation.invariant.c_str(), finding.campaign_index,
+                finding.violation.detail.c_str());
+    std::printf("-- shrunk reproducer:\n%s",
+                roboads::scenario::serialize(finding.shrunk).c_str());
+    if (!corpus_out.empty()) {
+      const std::string path = corpus_out + "/" +
+                               finding.violation.invariant + "-" +
+                               std::to_string(finding.campaign_index) +
+                               ".spec";
+      std::ofstream os(path);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 2;
+      }
+      os << roboads::scenario::serialize(finding.shrunk);
+      std::printf("-- written to %s\n", path.c_str());
+    }
+  }
+  return report.clean() ? 0 : 1;
+}
