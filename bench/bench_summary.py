@@ -4,6 +4,7 @@
 Usage: bench_summary.py <benchmark_json_in> <summary_json_out>
            [--build-type=TYPE] [--cxx-flags=FLAGS]
            [--require-build-type=TYPE]
+           [--baseline=FILE] [--max-regress=FRACTION]
 
 The summary holds one entry per benchmark: real time in nanoseconds, plus the
 iteration count the number was averaged over. Counters (modes, threads) are
@@ -15,8 +16,19 @@ bench tree's CMakeCache) in the summary context — google-benchmark's own
 this project. --require-build-type makes a mismatch a hard error so a perf
 snapshot accidentally taken from a debug-ish tree can never land in
 BENCH_PERF.json.
+
+--baseline compares the fresh numbers against a previous summary (normally
+the checked-in BENCH_PERF.json) *before* writing anything: any benchmark
+whose real_time_ns grew by more than --max-regress (default 0.15 = 15%)
+fails the run and leaves the baseline file untouched, so ./ci.sh bench
+gates cross-PR hot-path regressions. Benchmarks missing from the baseline
+(newly added) pass; a missing or unreadable baseline file is skipped with a
+note (first snapshot of a fresh checkout). Comparisons only run when the
+baseline was recorded with identical build type and flags — numbers from a
+different compiler configuration are noise, not a regression.
 """
 import json
+import os
 import sys
 
 
@@ -25,6 +37,8 @@ def main() -> int:
     build_type = ""
     cxx_flags = ""
     require_build_type = ""
+    baseline_path = ""
+    max_regress = 0.15
     for arg in sys.argv[1:]:
         if arg.startswith("--build-type="):
             build_type = arg[len("--build-type="):]
@@ -32,6 +46,19 @@ def main() -> int:
             cxx_flags = arg[len("--cxx-flags="):]
         elif arg.startswith("--require-build-type="):
             require_build_type = arg[len("--require-build-type="):]
+        elif arg.startswith("--baseline="):
+            baseline_path = arg[len("--baseline="):]
+        elif arg.startswith("--max-regress="):
+            try:
+                max_regress = float(arg[len("--max-regress="):])
+            except ValueError:
+                print(f"bench_summary: bad --max-regress in {arg}",
+                      file=sys.stderr)
+                return 2
+            if max_regress <= 0:
+                print("bench_summary: --max-regress must be positive",
+                      file=sys.stderr)
+                return 2
         elif arg.startswith("--"):
             print(f"bench_summary: unknown flag {arg}", file=sys.stderr)
             return 2
@@ -76,6 +103,59 @@ def main() -> int:
             if counter in b:
                 entry[counter] = b[counter]
         summary["benchmarks"][b["name"]] = entry
+
+    # Gate against the baseline before touching the output file: summary and
+    # baseline are usually the same path, and a failed gate must leave the
+    # old numbers in place for the next comparison.
+    if baseline_path:
+        if not os.path.exists(baseline_path):
+            print(f"bench_summary: no baseline at {baseline_path}, "
+                  f"recording a first snapshot")
+        else:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+            base_ctx = baseline.get("context", {})
+            comparable = (
+                base_ctx.get("build_type", "") == build_type
+                and base_ctx.get("cxx_flags", "") == cxx_flags
+            )
+            if not comparable:
+                print(
+                    f"bench_summary: baseline {baseline_path} was recorded "
+                    f"with different compiler settings; skipping the "
+                    f"regression gate and re-baselining")
+            else:
+                regressions = []
+                for name, entry in summary["benchmarks"].items():
+                    base = baseline.get("benchmarks", {}).get(name)
+                    if not base or base.get("real_time_ns", 0) <= 0:
+                        continue
+                    ratio = entry["real_time_ns"] / base["real_time_ns"]
+                    if ratio > 1.0 + max_regress:
+                        regressions.append((name, base["real_time_ns"],
+                                            entry["real_time_ns"], ratio))
+                if regressions:
+                    print(
+                        f"bench_summary: hot-path regression(s) beyond "
+                        f"{max_regress:.0%} vs {baseline_path}:",
+                        file=sys.stderr,
+                    )
+                    for name, old, new, ratio in regressions:
+                        print(
+                            f"  {name}: {old:.1f} ns -> {new:.1f} ns "
+                            f"({ratio - 1.0:+.1%})",
+                            file=sys.stderr,
+                        )
+                    print(
+                        "bench_summary: baseline left untouched; fix the "
+                        "regression or re-baseline deliberately by running "
+                        "without --baseline.",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"bench_summary: {len(summary['benchmarks'])} benchmarks "
+                    f"within {max_regress:.0%} of {baseline_path}")
 
     with open(positional[1], "w") as f:
         json.dump(summary, f, indent=2, sort_keys=True)

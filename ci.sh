@@ -17,8 +17,12 @@
 #   ./ci.sh normal     # plain build + ctest + obs smoke + quick perf only
 #   ./ci.sh tsan       # TSan build + ctest only
 #   ./ci.sh ubsan      # UBSan build + ctest only
-#   ./ci.sh bench      # quick perf snapshot only (writes BENCH_PERF.json)
+#   ./ci.sh bench      # quick perf snapshot only (writes BENCH_PERF.json,
+#                      # gated >15% vs the previous snapshot)
 #   ./ci.sh fuzz-smoke # ~30 s scenario-DSL coverage fuzz + corpus replay
+#   ./ci.sh shard-smoke # ~30 s sharded fuzz campaign with an injected
+#                      # worker kill and a supervisor kill + --resume; the
+#                      # merged report must be byte-identical to a serial run
 #
 # JOBS=<n> overrides the parallelism (default: nproc). FUZZ_SEED=<n> varies
 # the fuzz-smoke campaign seed (default 1; CI can rotate it per run).
@@ -93,7 +97,8 @@ run_bench() {
     --benchmark_format=json > "$dir/bench_perf_raw.json"
   python3 bench/bench_summary.py "$dir/bench_perf_raw.json" BENCH_PERF.json \
     --build-type="$build_type" --cxx-flags="$cxx_flags" \
-    --require-build-type=Release
+    --require-build-type=Release \
+    --baseline=BENCH_PERF.json --max-regress=0.15
 }
 
 # Scenario-DSL coverage fuzz (docs/SCENARIOS.md): a time-boxed (~30 s)
@@ -109,6 +114,41 @@ run_fuzz_smoke() {
   echo "fuzz smoke: invariants held and corpus replayed green"
 }
 
+# Sharded-runner chaos smoke (docs/ROBUSTNESS.md): a small sharded fuzz
+# campaign flown twice against a serial reference. Pass 1 injects a worker
+# SIGKILL mid-campaign (supervised retry must absorb it); pass 2 SIGKILLs
+# the *supervisor* mid-run and resumes from the checkpoints. Both merged
+# reports must be byte-identical to the serial run's.
+run_shard_smoke() {
+  local dir="$1"
+  cmake -B "$dir" -S .
+  cmake --build "$dir" -j "$JOBS" --target roboads_shard_tool
+  local out="$dir/shard-smoke"
+  rm -rf "$out" && mkdir -p "$out"
+  local manifest="$out/manifest.jsonl"
+  "$dir/tools/roboads_shard" gen-fuzz --out="$manifest" \
+    --seed="${FUZZ_SEED:-1}" --campaigns=32 --iterations=60 --shards=4
+
+  "$dir/tools/roboads_shard" serial --manifest="$manifest" \
+    --dir="$out/serial"
+
+  "$dir/tools/roboads_shard" run --manifest="$manifest" \
+    --dir="$out/chaos" --chaos-kills=1 --chaos-seed="${FUZZ_SEED:-1}" \
+    --heartbeat-timeout=5
+  cmp "$out/chaos/report.jsonl" "$out/serial/report.jsonl"
+
+  "$dir/tools/roboads_shard" run --manifest="$manifest" \
+    --dir="$out/resume" --heartbeat-timeout=5 &
+  local pid=$!
+  sleep 1
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  "$dir/tools/roboads_shard" run --manifest="$manifest" \
+    --dir="$out/resume" --resume --heartbeat-timeout=5
+  cmp "$out/resume/report.jsonl" "$out/serial/report.jsonl"
+  echo "shard smoke: chaos and resumed runs merged byte-identical to serial"
+}
+
 case "$MODE" in
   normal)
     run_pass build
@@ -121,6 +161,7 @@ case "$MODE" in
   ubsan)  run_pass build-ubsan -DRoboADS_SANITIZE=undefined ;;
   bench)  run_bench ;;
   fuzz-smoke) run_fuzz_smoke build ;;
+  shard-smoke) run_shard_smoke build ;;
   all)
     run_pass build
     run_obs_smoke build
@@ -128,10 +169,11 @@ case "$MODE" in
     run_obs_overhead build
     run_bench
     run_fuzz_smoke build
+    run_shard_smoke build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "obs/json.h"
+#include "obs/jsonl.h"
 
 namespace roboads::obs {
 namespace {
@@ -17,269 +18,29 @@ namespace {
 constexpr char kBundleName[] = "roboads-postmortem";
 
 void write_key(std::ostream& os, const char* key, bool first = false) {
-  if (!first) os << ',';
-  os << '"' << key << "\":";
+  json::write_field_key(os, key, first);
 }
 
-void write_doubles(std::ostream& os, const std::vector<double>& v) {
-  os << '[';
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i > 0) os << ',';
-    json::write_number(os, v[i]);
-  }
-  os << ']';
-}
+using json::write_doubles;
+using json::write_ints;
 
-void write_ints(std::ostream& os, const std::vector<std::int64_t>& v) {
-  os << '[';
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i > 0) os << ',';
-    os << v[i];
-  }
-  os << ']';
-}
-
-// --- Minimal value-extracting JSON parser for the bundle subset: flat
-// objects whose values are null / bool / number / string / array-of-number
-// (the structural validator in obs/trace.h checks syntax only and extracts
-// nothing, so bundles need their own reader). Numbers parse via strtod on
-// the %.17g writer output, so doubles round-trip exactly; null inside a
-// numeric context reads back as NaN, mirroring the writer.
-
-struct ParsedValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<double> nums;
-};
-
-class LineParser {
- public:
-  LineParser(const std::string& line, std::size_t line_no)
-      : s_(line), line_no_(line_no) {}
-
-  std::map<std::string, ParsedValue> parse_object() {
-    std::map<std::string, ParsedValue> out;
-    skip_ws();
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++i_;
-    } else {
-      while (true) {
-        skip_ws();
-        std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        out[std::move(key)] = parse_value();
-        skip_ws();
-        const char c = next();
-        if (c == '}') break;
-        if (c != ',') fail("expected ',' or '}'");
-      }
-    }
-    skip_ws();
-    if (i_ != s_.size()) fail("trailing characters after object");
-    return out;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw CheckError("bundle line " + std::to_string(line_no_) + ": " + what);
-  }
-
-  char peek() const {
-    if (i_ >= s_.size()) fail("unexpected end of line");
-    return s_[i_];
-  }
-  char next() {
-    const char c = peek();
-    ++i_;
-    return c;
-  }
-  void expect(char c) {
-    if (next() != c) fail(std::string("expected '") + c + "'");
-  }
-  void skip_ws() {
-    while (i_ < s_.size() &&
-           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r')) {
-      ++i_;
-    }
-  }
-  bool literal(const char* word) {
-    const std::size_t n = std::char_traits<char>::length(word);
-    if (s_.compare(i_, n, word) != 0) return false;
-    i_ += n;
-    return true;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = next();
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      const char e = next();
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (i_ + 4 > s_.size()) fail("truncated \\u escape");
-          const std::string hex = s_.substr(i_, 4);
-          i_ += 4;
-          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-          break;
-        }
-        default: fail("unsupported escape");
-      }
-    }
-  }
-
-  double parse_number() {
-    const char* begin = s_.c_str() + i_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    if (end == begin) fail("malformed number");
-    i_ += static_cast<std::size_t>(end - begin);
-    return v;
-  }
-
-  ParsedValue parse_value() {
-    skip_ws();
-    ParsedValue v;
-    const char c = peek();
-    if (c == 'n') {
-      if (!literal("null")) fail("bad literal");
-      v.kind = ParsedValue::Kind::kNull;
-      v.num = std::numeric_limits<double>::quiet_NaN();
-    } else if (c == 't' || c == 'f') {
-      v.kind = ParsedValue::Kind::kBool;
-      if (literal("true")) {
-        v.b = true;
-      } else if (literal("false")) {
-        v.b = false;
-      } else {
-        fail("bad literal");
-      }
-    } else if (c == '"') {
-      v.kind = ParsedValue::Kind::kString;
-      v.str = parse_string();
-    } else if (c == '[') {
-      ++i_;
-      v.kind = ParsedValue::Kind::kArray;
-      skip_ws();
-      if (peek() == ']') {
-        ++i_;
-        return v;
-      }
-      while (true) {
-        skip_ws();
-        if (peek() == 'n') {
-          if (!literal("null")) fail("bad literal");
-          v.nums.push_back(std::numeric_limits<double>::quiet_NaN());
-        } else {
-          v.nums.push_back(parse_number());
-        }
-        skip_ws();
-        const char e = next();
-        if (e == ']') break;
-        if (e != ',') fail("expected ',' or ']'");
-      }
-    } else {
-      v.kind = ParsedValue::Kind::kNumber;
-      v.num = parse_number();
-    }
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-  std::size_t line_no_;
-};
-
-// Typed field access with loud failures — a schema drift should be a clear
-// error, not a default-initialized record.
-class Fields {
- public:
-  Fields(std::map<std::string, ParsedValue> fields, std::size_t line_no)
-      : fields_(std::move(fields)), line_no_(line_no) {}
-
-  const ParsedValue& at(const char* key) const {
-    const auto it = fields_.find(key);
-    if (it == fields_.end()) {
-      throw CheckError("bundle line " + std::to_string(line_no_) +
-                       ": missing field '" + key + "'");
-    }
-    return it->second;
-  }
-
-  double number(const char* key) const {
-    const ParsedValue& v = at(key);
-    if (v.kind != ParsedValue::Kind::kNumber &&
-        v.kind != ParsedValue::Kind::kNull) {
-      fail(key, "number");
-    }
-    return v.num;
-  }
-  std::int64_t integer(const char* key) const {
-    return static_cast<std::int64_t>(number(key));
-  }
-  bool boolean(const char* key) const {
-    const ParsedValue& v = at(key);
-    if (v.kind != ParsedValue::Kind::kBool) fail(key, "bool");
-    return v.b;
-  }
-  const std::string& string(const char* key) const {
-    const ParsedValue& v = at(key);
-    if (v.kind != ParsedValue::Kind::kString) fail(key, "string");
-    return v.str;
-  }
-  const std::vector<double>& numbers(const char* key) const {
-    const ParsedValue& v = at(key);
-    if (v.kind != ParsedValue::Kind::kArray) fail(key, "array");
-    return v.nums;
-  }
-  std::vector<std::int64_t> integers(const char* key) const {
-    const std::vector<double>& nums = numbers(key);
-    std::vector<std::int64_t> out(nums.size());
-    for (std::size_t i = 0; i < nums.size(); ++i) {
-      out[i] = static_cast<std::int64_t>(nums[i]);
-    }
-    return out;
-  }
-
- private:
-  [[noreturn]] void fail(const char* key, const char* want) const {
-    throw CheckError("bundle line " + std::to_string(line_no_) + ": field '" +
-                     std::string(key) + "' is not a " + want);
-  }
-
-  std::map<std::string, ParsedValue> fields_;
-  std::size_t line_no_;
-};
-
-Fields parse_line(std::istream& is, std::size_t& line_no, const char* what) {
+// Bundle lines are parsed by the shared JSONL layer (obs/jsonl.h); this
+// wrapper skips blank lines, threads the line counter, and tags every
+// diagnostic with "bundle line N".
+json::Fields parse_line(std::istream& is, std::size_t& line_no,
+                        const char* what) {
   std::string line;
   while (std::getline(is, line)) {
     ++line_no;
     if (!line.empty()) {
-      LineParser parser(line, line_no);
-      return Fields(parser.parse_object(), line_no);
+      const std::string context = "bundle line " + std::to_string(line_no);
+      return json::Fields(json::parse_object_line(line, context), context);
     }
   }
   throw CheckError(std::string("bundle truncated: missing ") + what +
                    " line");
 }
+
 
 void write_snapshot_line(std::ostream& os, std::int64_t k,
                          const DetectorStateSnapshot& snap) {
@@ -536,7 +297,7 @@ PostmortemBundle read_bundle(std::istream& is) {
   std::size_t line_no = 0;
   PostmortemBundle bundle;
 
-  const Fields header = parse_line(is, line_no, "header");
+  const json::Fields header = parse_line(is, line_no, "header");
   ROBOADS_CHECK_EQ(header.string("event"), std::string("bundle"),
                    "not a postmortem bundle header");
   ROBOADS_CHECK_EQ(header.string("name"), std::string(kBundleName),
@@ -549,7 +310,7 @@ PostmortemBundle read_bundle(std::istream& is) {
   bundle.detail = header.string("detail");
   const std::int64_t record_count = header.integer("records");
 
-  const Fields prov = parse_line(is, line_no, "provenance");
+  const json::Fields prov = parse_line(is, line_no, "provenance");
   ROBOADS_CHECK_EQ(prov.string("event"), std::string("provenance"),
                    "expected provenance line");
   BundleProvenance& p = bundle.provenance;
@@ -575,7 +336,7 @@ PostmortemBundle read_bundle(std::istream& is) {
   p.state_dim = prov.integer("state_dim");
   p.input_dim = prov.integer("input_dim");
 
-  const Fields snap = parse_line(is, line_no, "snapshot");
+  const json::Fields snap = parse_line(is, line_no, "snapshot");
   ROBOADS_CHECK_EQ(snap.string("event"), std::string("snapshot"),
                    "expected snapshot line");
   DetectorStateSnapshot warm;
@@ -588,7 +349,7 @@ PostmortemBundle read_bundle(std::istream& is) {
 
   bundle.records.reserve(static_cast<std::size_t>(record_count));
   for (std::int64_t i = 0; i < record_count; ++i) {
-    const Fields f = parse_line(is, line_no, "record");
+    const json::Fields f = parse_line(is, line_no, "record");
     ROBOADS_CHECK_EQ(f.string("event"), std::string("record"),
                      "expected record line");
     FlightRecord r;

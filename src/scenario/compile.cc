@@ -155,6 +155,53 @@ void validate_attack(const ScenarioSpec& spec, const AttackSpec& attack,
   }
 }
 
+// Mirrors TransportFaultModel's constructor checks (plus spec-level window
+// sanity) as SpecErrors: a bad faults stanza is bad *input*, and must be
+// rejected before the sim layer can trip an internal CheckError on it.
+void validate_fault(const ScenarioSpec& spec, const FaultSpec& fault,
+                    const eval::Platform& platform) {
+  const sensors::SensorSuite& suite = platform.suite();
+  bool known = false;
+  for (std::size_t i = 0; i < suite.count(); ++i) {
+    if (suite.sensor(i).name() == fault.sensor) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    spec_error(spec, "unknown fault sensor \"" + fault.sensor + "\"");
+  }
+  if (fault.drop_rate < 0.0 || fault.stale_rate < 0.0 ||
+      fault.duplicate_rate < 0.0) {
+    spec_error(spec, "fault rates must be non-negative");
+  }
+  if (fault.drop_rate + fault.stale_rate + fault.duplicate_rate > 1.0) {
+    spec_error(spec, "fault rates for \"" + fault.sensor +
+                         "\" must sum to at most 1");
+  }
+  if (fault.freeze_duration > 0 && fault.freeze_at == 0) {
+    spec_error(spec, "fault freeze window needs freeze-at >= 1");
+  }
+  if (fault.freeze_duration > 0 && fault.freeze_at >= spec.iterations) {
+    spec_error(spec, "fault freeze-at " + std::to_string(fault.freeze_at) +
+                         " is at or beyond the mission horizon of " +
+                         std::to_string(spec.iterations) + " iterations");
+  }
+}
+
+void validate_faults(const ScenarioSpec& spec,
+                     const eval::Platform& platform) {
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    validate_fault(spec, spec.faults[i], platform);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.faults[j].sensor == spec.faults[i].sensor) {
+        spec_error(spec, "duplicate fault stanza for sensor \"" +
+                             spec.faults[i].sensor + "\"");
+      }
+    }
+  }
+}
+
 attacks::Window window_of(const AttackSpec& attack) {
   attacks::Window window;
   window.start = attack.onset;
@@ -254,6 +301,7 @@ attacks::Scenario compile_spec(const ScenarioSpec& spec,
                                          traits.lidar_beams);
     attachments.push_back(std::move(attachment));
   }
+  validate_faults(spec, platform);
   return attacks::Scenario(spec.name, spec.description,
                            std::move(attachments));
 }
@@ -272,6 +320,32 @@ void validate_spec(const ScenarioSpec& spec) {
   for (const AttackSpec& attack : spec.attacks) {
     validate_attack(spec, attack, *platform, traits);
   }
+  validate_faults(spec, *platform);
+}
+
+sim::TransportFaultConfig transport_faults_of(const ScenarioSpec& spec,
+                                              const eval::Platform& platform) {
+  validate_faults(spec, platform);
+  sim::TransportFaultConfig config;
+  config.seed = spec.fault_seed;
+  config.sensors.reserve(spec.faults.size());
+  for (const FaultSpec& f : spec.faults) {
+    sim::SensorFaultSpec s;
+    s.sensor = f.sensor;
+    s.drop_rate = f.drop_rate;
+    s.stale_rate = f.stale_rate;
+    s.duplicate_rate = f.duplicate_rate;
+    s.freeze_at = f.freeze_at;
+    s.freeze_duration = f.freeze_duration;
+    config.sensors.push_back(std::move(s));
+  }
+  return config;
+}
+
+sim::TransportFaultConfig transport_faults_of(const ScenarioSpec& spec) {
+  const std::unique_ptr<eval::Platform> platform =
+      make_platform(spec.platform);
+  return transport_faults_of(spec, *platform);
 }
 
 SpecRun run_spec(const ScenarioSpec& spec) {
@@ -282,6 +356,7 @@ SpecRun run_spec(const ScenarioSpec& spec) {
   eval::MissionConfig config;
   config.iterations = spec.iterations;
   config.seed = spec.seed;
+  config.transport_faults = transport_faults_of(spec, *platform);
   SpecRun run;
   run.name = spec.name;
   run.result = eval::run_mission(*platform, scenario, config);

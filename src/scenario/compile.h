@@ -11,6 +11,7 @@
 #include "eval/batch.h"
 #include "eval/platform.h"
 #include "scenario/spec.h"
+#include "sim/faults.h"
 
 namespace roboads::scenario {
 
@@ -47,8 +48,19 @@ attacks::Scenario compile_spec(const ScenarioSpec& spec,
 attacks::Scenario compile_spec(const ScenarioSpec& spec);
 
 // Validation without constructing injectors; throws SpecError on the first
-// problem, returns normally for a compilable spec.
+// problem, returns normally for a compilable spec. Covers the faults stanza
+// too (unknown sensors, out-of-range rates, freeze windows without an
+// onset), so fault errors surface as SpecErrors before the transport model's
+// internal CheckErrors can fire.
 void validate_spec(const ScenarioSpec& spec);
+
+// Lowers the spec's faults stanza onto the bus-layer transport-fault model.
+// Inactive (empty) config when the spec carries no faults, so the no-fault
+// mission path stays bit-identical to pre-fault code. Throws SpecError on an
+// invalid stanza.
+sim::TransportFaultConfig transport_faults_of(const ScenarioSpec& spec,
+                                              const eval::Platform& platform);
+sim::TransportFaultConfig transport_faults_of(const ScenarioSpec& spec);
 
 // One compiled-and-flown spec: mission + score on a fresh default platform,
 // deterministic per spec.seed.

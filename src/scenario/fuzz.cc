@@ -127,6 +127,24 @@ AttackSpec random_attack(std::mt19937_64& engine,
   return attack;
 }
 
+// Transport faults are benign by construction, so the generator keeps rates
+// modest: enough traffic disruption to stress the detector's tolerance, not
+// enough to starve the mission of readings outright.
+FaultSpec random_fault(std::mt19937_64& engine, const std::string& sensor,
+                       std::size_t iterations) {
+  FaultSpec fault;
+  fault.sensor = sensor;
+  if (coin(engine, 0.6)) fault.drop_rate = uniform(engine, 0.0, 0.15);
+  if (coin(engine, 0.5)) fault.stale_rate = uniform(engine, 0.0, 0.15);
+  if (coin(engine, 0.4)) fault.duplicate_rate = uniform(engine, 0.0, 0.1);
+  if (coin(engine, 0.3) && iterations > 2) {
+    fault.freeze_at = uniform_index(engine, 1, iterations - 1);
+    fault.freeze_duration =
+        uniform_index(engine, 1, std::max<std::size_t>(1, iterations / 8));
+  }
+  return fault;
+}
+
 bool all_finite(const Vector& v) { return v.all_finite(); }
 
 std::string at_iteration(std::size_t k) {
@@ -154,6 +172,25 @@ ScenarioSpec random_campaign(std::mt19937_64& engine,
     spec.attacks.push_back(
         random_attack(engine, *eval_platform, traits, spec.iterations));
   }
+  if (config.fault_probability > 0.0 &&
+      coin(engine, config.fault_probability)) {
+    const sensors::SensorSuite& suite = eval_platform->suite();
+    // One or two distinct sensors, chosen without replacement.
+    const std::size_t faulted =
+        std::min<std::size_t>(uniform_index(engine, 1, 2), suite.count());
+    std::vector<std::size_t> picked;
+    while (picked.size() < faulted) {
+      const std::size_t i = uniform_index(engine, 0, suite.count() - 1);
+      if (std::find(picked.begin(), picked.end(), i) == picked.end()) {
+        picked.push_back(i);
+      }
+    }
+    for (std::size_t i : picked) {
+      spec.faults.push_back(
+          random_fault(engine, suite.sensor(i).name(), spec.iterations));
+    }
+    spec.fault_seed = engine();
+  }
   return spec;
 }
 
@@ -171,6 +208,7 @@ std::optional<InvariantViolation> check_campaign(const ScenarioSpec& spec) {
     eval::MissionConfig config;
     config.iterations = spec.iterations;
     config.seed = spec.seed;
+    config.transport_faults = transport_faults_of(spec, *platform);
     result = eval::run_mission(*platform, scenario, config);
   } catch (const SpecError& e) {
     return fail("spec-rejected", e.what());
@@ -318,11 +356,23 @@ ScenarioSpec shrink_campaign_with(const ScenarioSpec& spec,
       progress |= try_candidate(std::move(candidate));
     }
 
+    // 1b. Drop whole fault stanzas — findings that reproduce without the
+    // transport layer shrink back to pure attack campaigns.
+    for (std::size_t i = best.faults.size(); i-- > 0 && in_budget();) {
+      ScenarioSpec candidate = best;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      progress |= try_candidate(std::move(candidate));
+    }
+
     // 2. Halve the mission (respecting every onset).
     while (in_budget() && best.iterations > 2) {
       std::size_t max_onset = 0;
       for (const AttackSpec& a : best.attacks) {
         max_onset = std::max(max_onset, a.onset);
+      }
+      for (const FaultSpec& f : best.faults) {
+        if (f.freeze_duration > 0) max_onset = std::max(max_onset, f.freeze_at);
       }
       const std::size_t shorter =
           std::max(max_onset + 1, best.iterations / 2);
@@ -358,6 +408,26 @@ ScenarioSpec shrink_campaign_with(const ScenarioSpec& spec,
         if (best.attacks[i].magnitude[c] == neutral) continue;
         ScenarioSpec candidate = best;
         candidate.attacks[i].magnitude[c] = neutral;
+        progress |= try_candidate(std::move(candidate));
+      }
+    }
+
+    // 4. Simplify each surviving fault stanza: zero individual rates, drop
+    // the freeze window.
+    for (std::size_t i = 0; i < best.faults.size() && in_budget(); ++i) {
+      const auto zero_rate = [&](double FaultSpec::*rate) {
+        if (best.faults[i].*rate == 0.0) return;
+        ScenarioSpec candidate = best;
+        candidate.faults[i].*rate = 0.0;
+        progress |= try_candidate(std::move(candidate));
+      };
+      zero_rate(&FaultSpec::drop_rate);
+      zero_rate(&FaultSpec::stale_rate);
+      zero_rate(&FaultSpec::duplicate_rate);
+      if (best.faults[i].freeze_duration > 0) {
+        ScenarioSpec candidate = best;
+        candidate.faults[i].freeze_at = 0;
+        candidate.faults[i].freeze_duration = 0;
         progress |= try_candidate(std::move(candidate));
       }
     }

@@ -38,6 +38,10 @@ struct FuzzConfig {
   std::vector<std::string> platforms = {"khepera", "tamiya"};
   std::size_t num_threads = 0;      // WorkflowConfig semantics (0 = auto)
   std::size_t shrink_budget = 120;  // extra missions allowed per shrink
+  // P(a campaign carries a faults stanza): transport drop/stale/duplicate/
+  // freeze composed under the attacks (ROADMAP "fuzzing under transport
+  // faults"). 0 restores attack-only fuzzing.
+  double fault_probability = 0.35;
 };
 
 // One failed invariant: `invariant` is a stable identifier (e.g.

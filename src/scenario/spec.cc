@@ -275,6 +275,28 @@ AttackSpec parse_attack(TokenCursor& cur) {
   return attack;
 }
 
+FaultSpec parse_fault(TokenCursor& cur) {
+  FaultSpec fault;
+  fault.sensor = cur.next_string("fault sensor name");
+  while (!cur.done()) {
+    const std::string key = cur.next_word("fault field");
+    if (key == "drop") {
+      fault.drop_rate = cur.next_number("drop");
+    } else if (key == "stale") {
+      fault.stale_rate = cur.next_number("stale");
+    } else if (key == "duplicate") {
+      fault.duplicate_rate = cur.next_number("duplicate");
+    } else if (key == "freeze-at") {
+      fault.freeze_at = cur.next_index("freeze-at");
+    } else if (key == "freeze-duration") {
+      fault.freeze_duration = cur.next_index("freeze-duration");
+    } else {
+      parse_error(cur.line(), "unknown fault field \"" + key + "\"");
+    }
+  }
+  return fault;
+}
+
 }  // namespace
 
 const char* to_string(AttackShape shape) {
@@ -351,6 +373,21 @@ std::string serialize(const ScenarioSpec& spec) {
     }
     os << '\n';
   }
+  for (const FaultSpec& f : spec.faults) {
+    os << "fault ";
+    write_quoted(os, f.sensor);
+    // Canonical form: only non-zero fields, in fixed order, so the
+    // serializer output stays unique per spec.
+    if (f.drop_rate != 0.0) os << " drop " << format_number(f.drop_rate);
+    if (f.stale_rate != 0.0) os << " stale " << format_number(f.stale_rate);
+    if (f.duplicate_rate != 0.0) {
+      os << " duplicate " << format_number(f.duplicate_rate);
+    }
+    if (f.freeze_at != 0) os << " freeze-at " << f.freeze_at;
+    if (f.freeze_duration != 0) os << " freeze-duration " << f.freeze_duration;
+    os << '\n';
+  }
+  if (!spec.faults.empty()) os << "fault-seed " << spec.fault_seed << '\n';
   os << "end\n";
   return os.str();
 }
@@ -394,6 +431,11 @@ ScenarioSpec parse(const std::string& text) {
     } else if (key == "attack") {
       spec.attacks.push_back(parse_attack(cur));
       continue;  // parse_attack consumes the rest of the line
+    } else if (key == "fault") {
+      spec.faults.push_back(parse_fault(cur));
+      continue;  // parse_fault consumes the rest of the line
+    } else if (key == "fault-seed") {
+      spec.fault_seed = cur.next_u64("fault-seed");
     } else {
       parse_error(num, "unknown directive \"" + key + "\"");
     }

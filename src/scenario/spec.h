@@ -85,6 +85,21 @@ struct AttackSpec {
   }
 };
 
+// One transport-fault profile on one sensor's feed (maps onto
+// sim::SensorFaultSpec): benign link-layer misbehavior — dropped, stale,
+// duplicated or frozen readings — composed under whatever attacks the
+// campaign carries. Faults never flip ground truth: alarms they provoke are
+// false positives by definition, which is exactly what fuzzing under faults
+// is probing for.
+struct FaultSpec {
+  std::string sensor;          // suite naming, e.g. "wheels", "lidar"
+  double drop_rate = 0.0;      // P(reading lost this iteration)
+  double stale_rate = 0.0;     // P(previous reading re-delivered)
+  double duplicate_rate = 0.0; // P(reading delivered twice)
+  std::size_t freeze_at = 0;       // first frozen iteration; 0 = never
+  std::size_t freeze_duration = 0; // frozen iterations (needs freeze_at >= 1)
+};
+
 // A campaign: one mission's worth of attacks on one platform. Self-contained
 // and replayable — platform, mission length and seed ride along, so a
 // serialized spec is a complete regression case.
@@ -95,6 +110,10 @@ struct ScenarioSpec {
   std::size_t iterations = 250;
   std::uint64_t seed = 1;
   std::vector<AttackSpec> attacks;
+  std::vector<FaultSpec> faults;
+  // Seed of the transport-fault model's private streams; only serialized
+  // when faults are present.
+  std::uint64_t fault_seed = 0x5EED5EEDu;
 };
 
 const char* to_string(AttackShape shape);

@@ -1,0 +1,37 @@
+#include "shard/heartbeat.h"
+
+#include <sys/stat.h>
+#include <time.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace roboads::shard {
+
+void write_heartbeat(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    ROBOADS_CHECK(static_cast<bool>(os), "cannot write heartbeat " + tmp);
+    os << payload << '\n';
+    os.flush();
+  }
+  ROBOADS_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot publish heartbeat " + path);
+}
+
+std::optional<double> heartbeat_age_seconds(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  struct timespec now;
+  ROBOADS_CHECK(clock_gettime(CLOCK_REALTIME, &now) == 0,
+                "clock_gettime failed");
+  const double age =
+      static_cast<double>(now.tv_sec - st.st_mtim.tv_sec) +
+      1e-9 * static_cast<double>(now.tv_nsec - st.st_mtim.tv_nsec);
+  return age < 0.0 ? 0.0 : age;
+}
+
+}  // namespace roboads::shard

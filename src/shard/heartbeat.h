@@ -1,0 +1,25 @@
+// Worker liveness via heartbeat files. A worker touches its heartbeat
+// atomically (write to a temp file, rename over the target) once per job and
+// on startup; the supervising watchdog reads the file's mtime age. A worker
+// that stops beating — hung, SIGSTOPped, or wedged in a runaway mission —
+// looks exactly like one whose process died, and is reclaimed the same way
+// (SIGKILL, then retry). File mtimes rather than pipes/sockets keep the
+// protocol crash-proof: a heartbeat survives its writer, and a fresh worker
+// instance simply overwrites it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace roboads::shard {
+
+// Atomically (re)writes the heartbeat file; `payload` is informational
+// (worker label / last job id), the watchdog only reads the mtime.
+void write_heartbeat(const std::string& path, const std::string& payload);
+
+// Age of the heartbeat in seconds, or nullopt when the file does not exist
+// (worker not started yet). Uses nanosecond mtime, so sub-second watchdog
+// timeouts are meaningful in tests.
+std::optional<double> heartbeat_age_seconds(const std::string& path);
+
+}  // namespace roboads::shard

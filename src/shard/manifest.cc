@@ -1,0 +1,279 @@
+#include "shard/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/jsonl.h"
+#include "scenario/library.h"
+
+namespace roboads::shard {
+namespace {
+
+namespace json = obs::json;
+
+constexpr char kManifestName[] = "roboads-shard-manifest";
+
+[[noreturn]] void manifest_error(std::size_t line, const std::string& what) {
+  throw ManifestError("manifest line " + std::to_string(line) + ": " + what);
+}
+
+JobKind kind_from(const std::string& word, std::size_t line) {
+  if (word == "spec") return JobKind::kSpec;
+  if (word == "library") return JobKind::kLibrary;
+  if (word == "fuzz") return JobKind::kFuzz;
+  manifest_error(line, "unknown job kind \"" + word + "\"");
+}
+
+void write_job(std::ostream& os, const ManifestJob& job) {
+  os << '{';
+  json::write_field_key(os, "event", /*first=*/true);
+  os << "\"job\"";
+  json::write_field_key(os, "id");
+  json::write_escaped(os, job.id);
+  json::write_field_key(os, "shard");
+  os << job.shard;
+  json::write_field_key(os, "kind");
+  os << '"' << to_string(job.kind) << '"';
+  json::write_field_key(os, "group");
+  json::write_escaped(os, job.group);
+  switch (job.kind) {
+    case JobKind::kSpec:
+      json::write_field_key(os, "seed");
+      os << job.seed;
+      json::write_field_key(os, "iterations");
+      os << job.iterations;
+      json::write_field_key(os, "spec");
+      json::write_escaped(os, job.spec_text);
+      break;
+    case JobKind::kLibrary:
+      json::write_field_key(os, "seed");
+      os << job.seed;
+      json::write_field_key(os, "iterations");
+      os << job.iterations;
+      json::write_field_key(os, "scenario");
+      json::write_escaped(os, job.scenario);
+      break;
+    case JobKind::kFuzz:
+      json::write_field_key(os, "fuzz_seed");
+      os << job.fuzz_seed;
+      json::write_field_key(os, "fuzz_index");
+      os << job.fuzz_index;
+      json::write_field_key(os, "fuzz_iterations");
+      os << job.fuzz_iterations;
+      json::write_field_key(os, "max_attacks");
+      os << job.max_attacks;
+      json::write_field_key(os, "fault_probability");
+      json::write_number(os, job.fault_probability);
+      json::write_field_key(os, "platforms");
+      json::write_strings(os, job.platforms);
+      break;
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSpec: return "spec";
+    case JobKind::kLibrary: return "library";
+    case JobKind::kFuzz: return "fuzz";
+  }
+  return "?";
+}
+
+std::string serialize(const Manifest& manifest) {
+  std::ostringstream os;
+  os << '{';
+  json::write_field_key(os, "event", /*first=*/true);
+  os << "\"manifest\"";
+  json::write_field_key(os, "name");
+  os << '"' << kManifestName << '"';
+  json::write_field_key(os, "version");
+  os << Manifest::kVersion;
+  json::write_field_key(os, "shards");
+  os << manifest.shards;
+  json::write_field_key(os, "jobs");
+  os << manifest.jobs.size();
+  os << "}\n";
+  for (const ManifestJob& job : manifest.jobs) write_job(os, job);
+  return os.str();
+}
+
+namespace {
+
+Manifest parse_manifest_impl(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t num = 0;
+  Manifest manifest;
+  bool saw_header = false;
+  std::size_t declared_jobs = 0;
+  while (std::getline(is, line)) {
+    ++num;
+    if (line.empty()) continue;
+    const std::string context = "manifest line " + std::to_string(num);
+    json::Fields f(json::parse_object_line(line, context), context);
+    const std::string& event = f.string("event");
+    if (!saw_header) {
+      if (event != "manifest") {
+        manifest_error(num, "expected the manifest header line first");
+      }
+      if (f.string("name") != kManifestName) {
+        manifest_error(num, "not a " + std::string(kManifestName) + " file");
+      }
+      if (f.integer("version") != Manifest::kVersion) {
+        manifest_error(num, "unsupported manifest version " +
+                                std::to_string(f.integer("version")));
+      }
+      manifest.shards = static_cast<std::size_t>(f.integer("shards"));
+      if (manifest.shards == 0) manifest_error(num, "shards must be >= 1");
+      declared_jobs = static_cast<std::size_t>(f.integer("jobs"));
+      saw_header = true;
+      continue;
+    }
+    if (event != "job") {
+      manifest_error(num, "unexpected event \"" + event + "\"");
+    }
+    ManifestJob job;
+    job.id = f.string("id");
+    if (job.id.empty()) manifest_error(num, "job id must be non-empty");
+    job.shard = static_cast<std::size_t>(f.integer("shard"));
+    if (job.shard >= manifest.shards) {
+      manifest_error(num, "job \"" + job.id + "\" assigned to shard " +
+                              std::to_string(job.shard) + " of " +
+                              std::to_string(manifest.shards));
+    }
+    job.kind = kind_from(f.string("kind"), num);
+    job.group = f.string("group");
+    switch (job.kind) {
+      case JobKind::kSpec:
+        job.seed = static_cast<std::uint64_t>(f.integer("seed"));
+        job.iterations = static_cast<std::size_t>(f.integer("iterations"));
+        job.spec_text = f.string("spec");
+        break;
+      case JobKind::kLibrary:
+        job.seed = static_cast<std::uint64_t>(f.integer("seed"));
+        job.iterations = static_cast<std::size_t>(f.integer("iterations"));
+        job.scenario = f.string("scenario");
+        break;
+      case JobKind::kFuzz:
+        job.fuzz_seed = static_cast<std::uint64_t>(f.integer("fuzz_seed"));
+        job.fuzz_index = static_cast<std::size_t>(f.integer("fuzz_index"));
+        job.fuzz_iterations =
+            static_cast<std::size_t>(f.integer("fuzz_iterations"));
+        job.max_attacks = static_cast<std::size_t>(f.integer("max_attacks"));
+        job.fault_probability = f.number("fault_probability");
+        job.platforms = f.strings("platforms");
+        break;
+    }
+    for (const ManifestJob& seen : manifest.jobs) {
+      if (seen.id == job.id) {
+        manifest_error(num, "duplicate job id \"" + job.id + "\"");
+      }
+    }
+    manifest.jobs.push_back(std::move(job));
+  }
+  if (!saw_header) throw ManifestError("manifest parse error: empty input");
+  if (manifest.jobs.size() != declared_jobs) {
+    throw ManifestError("manifest declares " + std::to_string(declared_jobs) +
+                        " jobs but carries " +
+                        std::to_string(manifest.jobs.size()));
+  }
+  return manifest;
+}
+
+}  // namespace
+
+Manifest parse_manifest(const std::string& text) {
+  // JSON-level problems (unparseable line, missing/mistyped field) surface
+  // as ManifestError too: to a caller, a line that is not JSON and a line
+  // with the wrong fields are the same kind of bad input file.
+  try {
+    return parse_manifest_impl(text);
+  } catch (const ManifestError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ManifestError(e.what());
+  }
+}
+
+void write_manifest_file(const std::string& path, const Manifest& manifest) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw ManifestError("cannot open " + path + " for writing");
+  os << serialize(manifest);
+  if (!os.flush()) throw ManifestError("failed writing " + path);
+}
+
+Manifest read_manifest_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ManifestError("cannot open " + path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  return parse_manifest(text.str());
+}
+
+Manifest table2_manifest(const std::vector<std::uint64_t>& seeds,
+                         std::size_t shards, std::size_t iterations) {
+  Manifest manifest;
+  manifest.shards = shards;
+  const std::vector<scenario::ScenarioSpec> specs =
+      scenario::khepera_table2_specs();
+  std::size_t i = 0;
+  for (std::uint64_t seed : seeds) {
+    for (std::size_t n = 1; n <= specs.size(); ++n) {
+      ManifestJob job;
+      char id[16];
+      std::snprintf(id, sizeof(id), "j%05zu", i);
+      job.id = id;
+      job.shard = i % shards;
+      job.kind = JobKind::kLibrary;
+      job.group = "seed-" + std::to_string(seed);
+      // The bench/seed_robustness convention: each scenario of a
+      // replication flies at seed*1000 + its Table II number.
+      job.seed = seed * 1000 + n;
+      job.iterations = iterations;
+      job.scenario = specs[n - 1].name;
+      manifest.jobs.push_back(std::move(job));
+      ++i;
+    }
+  }
+  return manifest;
+}
+
+Manifest fuzz_manifest(const scenario::FuzzConfig& config,
+                       std::size_t shards) {
+  Manifest manifest;
+  manifest.shards = shards;
+  for (std::size_t i = 0; i < config.campaigns; ++i) {
+    ManifestJob job;
+    char id[16];
+    std::snprintf(id, sizeof(id), "j%05zu", i);
+    job.id = id;
+    job.shard = i % shards;
+    job.kind = JobKind::kFuzz;
+    job.group = "fuzz";
+    job.fuzz_seed = config.seed;
+    job.fuzz_index = i;
+    job.fuzz_iterations = config.iterations;
+    job.max_attacks = config.max_attacks;
+    job.fault_probability = config.fault_probability;
+    job.platforms = config.platforms;
+    manifest.jobs.push_back(std::move(job));
+  }
+  return manifest;
+}
+
+std::vector<std::uint64_t> default_seed_series(std::size_t n) {
+  static constexpr std::uint64_t kClassic[] = {11, 23, 37, 59, 71};
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds.push_back(i < 5 ? kClassic[i] : 71 + 12 * (i - 4));
+  }
+  return seeds;
+}
+
+}  // namespace roboads::shard

@@ -1,0 +1,253 @@
+#include "shard/supervise.h"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "common/check.h"
+#include "shard/checkpoint.h"
+#include "shard/heartbeat.h"
+
+namespace roboads::shard {
+namespace {
+
+double monotonic_now() {
+  struct timespec ts;
+  ROBOADS_CHECK(clock_gettime(CLOCK_MONOTONIC, &ts) == 0,
+                "clock_gettime failed");
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+void sleep_seconds(double seconds) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - std::floor(seconds)) * 1e9);
+  nanosleep(&ts, nullptr);
+}
+
+pid_t spawn(const WorkerCommand& command) {
+  ROBOADS_CHECK(!command.args.empty(), "worker command needs argv[0]");
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Orphaned workers must not outlive a killed supervisor — a crashed
+    // coordinating process should leave a resumable directory, not a stray
+    // pool of compute.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    std::vector<char*> argv;
+    argv.reserve(command.args.size() + 1);
+    for (const std::string& arg : command.args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execvp(argv[0], argv.data());
+    _exit(127);
+  }
+  ROBOADS_CHECK(pid > 0, "fork failed");
+  return pid;
+}
+
+struct Slot {
+  std::string label;
+  std::vector<std::string> job_ids;  // assigned manifest job ids
+  pid_t pid = -1;
+  std::size_t launches = 0;
+  double restart_at = 0.0;    // monotonic time gate for the next launch
+  double launched_at = 0.0;   // heartbeat fallback until the first beat
+  bool killing = false;       // watchdog SIGKILL sent, waiting for the reap
+  bool done = false;
+  bool lost = false;
+
+  bool active() const { return !done && !lost; }
+};
+
+std::set<std::string> completed_ids(const std::string& dir) {
+  std::set<std::string> ids;
+  for (const JobOutcome& outcome : load_run_outcomes(dir)) {
+    ids.insert(outcome.id);
+  }
+  return ids;
+}
+
+std::vector<std::string> pending_of(const Slot& slot,
+                                    const std::set<std::string>& completed) {
+  std::vector<std::string> pending;
+  for (const std::string& id : slot.job_ids) {
+    if (completed.count(id) == 0) pending.push_back(id);
+  }
+  return pending;
+}
+
+// Drives one wave of slots to completion or loss.
+void run_wave(std::vector<Slot>& slots, const Manifest& manifest,
+              const std::string& dir, const SupervisorConfig& config,
+              const WorkerLauncher& launcher, SuperviseResult& result,
+              std::size_t& chaos_kills_left, std::size_t& chaos_stops_left,
+              std::mt19937_64& chaos_rng) {
+  const std::size_t total_jobs = manifest.jobs.size();
+  const std::size_t chaos_total = chaos_kills_left + chaos_stops_left;
+  // Chaos events fire as completion crosses evenly spaced progress marks, so
+  // every injection lands mid-campaign: work exists both behind (exercising
+  // resume) and ahead (exercising retry) of the kill.
+  std::size_t chaos_fired = 0;
+
+  while (std::any_of(slots.begin(), slots.end(),
+                     [](const Slot& s) { return s.active(); })) {
+    const double now = monotonic_now();
+    const std::set<std::string> completed = completed_ids(dir);
+
+    for (Slot& slot : slots) {
+      if (!slot.active()) continue;
+
+      if (slot.pid < 0) {
+        if (pending_of(slot, completed).empty()) {
+          slot.done = true;
+          continue;
+        }
+        if (now < slot.restart_at) continue;
+        if (slot.launches > config.retry.max_retries) {
+          slot.lost = true;
+          ++result.lost_shards;
+          continue;
+        }
+        const WorkerCommand command =
+            launcher(slot.label, pending_of(slot, completed));
+        slot.pid = spawn(command);
+        slot.launched_at = now;
+        ++slot.launches;
+        ++result.launches;
+        continue;
+      }
+
+      // Watchdog: a worker that stopped heartbeating is reclaimed exactly
+      // like one that died — SIGKILL works on stopped processes too.
+      const std::optional<double> age =
+          heartbeat_age_seconds(heartbeat_path(dir, slot.label));
+      const double silent =
+          age.has_value() ? std::min(*age, now - slot.launched_at)
+                          : now - slot.launched_at;
+      if (silent > config.heartbeat_timeout_seconds && !slot.killing) {
+        kill(slot.pid, SIGKILL);
+        slot.killing = true;
+        ++result.hangs;
+      }
+
+      int status = 0;
+      const pid_t reaped = waitpid(slot.pid, &status, WNOHANG);
+      if (reaped == slot.pid) {
+        slot.pid = -1;
+        slot.killing = false;
+        if (pending_of(slot, completed_ids(dir)).empty()) {
+          slot.done = true;
+        } else {
+          ++result.crashes;
+          slot.restart_at =
+              now + config.retry.delay_seconds(slot.launches);
+        }
+      }
+    }
+
+    // Chaos injection against whoever is running right now.
+    if (chaos_fired < chaos_total) {
+      const std::size_t mark =
+          (chaos_fired + 1) * total_jobs / (chaos_total + 1);
+      if (completed.size() >= std::max<std::size_t>(mark, 1)) {
+        std::vector<Slot*> running;
+        for (Slot& slot : slots) {
+          if (slot.active() && slot.pid > 0) running.push_back(&slot);
+        }
+        if (!running.empty()) {
+          Slot& victim = *running[std::uniform_int_distribution<std::size_t>(
+              0, running.size() - 1)(chaos_rng)];
+          if (chaos_kills_left > 0) {
+            --chaos_kills_left;
+            kill(victim.pid, SIGKILL);
+          } else {
+            --chaos_stops_left;
+            kill(victim.pid, SIGSTOP);
+          }
+          ++chaos_fired;
+        }
+      }
+    }
+
+    sleep_seconds(config.poll_interval_seconds);
+  }
+}
+
+}  // namespace
+
+double RetryPolicy::delay_seconds(std::size_t attempt) const {
+  ROBOADS_CHECK(attempt >= 1, "retry attempts are 1-based");
+  double delay = base_delay_seconds;
+  for (std::size_t i = 1; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= max_delay_seconds) break;
+  }
+  return std::min(delay, max_delay_seconds);
+}
+
+SuperviseResult supervise(const Manifest& manifest, const std::string& dir,
+                          const SupervisorConfig& config,
+                          const WorkerLauncher& launcher) {
+  SuperviseResult result;
+  std::mt19937_64 chaos_rng(config.chaos_seed);
+  std::size_t chaos_kills_left = config.chaos_kills;
+  std::size_t chaos_stops_left = config.chaos_stops;
+
+  // Wave 0: one slot per manifest shard, owning its assigned jobs. Jobs
+  // already checkpointed (a --resume, or an earlier wave of a crashed
+  // supervisor) are filtered at launch time.
+  std::vector<Slot> slots(manifest.shards);
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    slots[s].label = "s" + std::to_string(s);
+  }
+  for (const ManifestJob& job : manifest.jobs) {
+    slots[job.shard].job_ids.push_back(job.id);
+  }
+  slots.erase(std::remove_if(slots.begin(), slots.end(),
+                             [](const Slot& s) { return s.job_ids.empty(); }),
+              slots.end());
+  run_wave(slots, manifest, dir, config, launcher, result, chaos_kills_left,
+           chaos_stops_left, chaos_rng);
+
+  // Salvage waves: requeue whatever lost shards stranded onto fresh
+  // workers — the pool shrinks to however many are still viable instead of
+  // the run failing outright.
+  for (std::size_t wave = 1; wave <= config.salvage_waves; ++wave) {
+    const std::set<std::string> completed = completed_ids(dir);
+    std::vector<std::string> missing;
+    for (const ManifestJob& job : manifest.jobs) {
+      if (completed.count(job.id) == 0) missing.push_back(job.id);
+    }
+    if (missing.empty()) break;
+    const std::size_t workers =
+        std::min<std::size_t>(manifest.shards, missing.size());
+    std::vector<Slot> salvage(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      salvage[i].label = "v" + std::to_string(wave) + "-" + std::to_string(i);
+    }
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      salvage[i % workers].job_ids.push_back(missing[i]);
+    }
+    result.salvage_workers += workers;
+    run_wave(salvage, manifest, dir, config, launcher, result,
+             chaos_kills_left, chaos_stops_left, chaos_rng);
+  }
+
+  const std::set<std::string> completed = completed_ids(dir);
+  for (const ManifestJob& job : manifest.jobs) {
+    if (completed.count(job.id) == 0) result.missing_ids.push_back(job.id);
+  }
+  result.complete = result.missing_ids.empty();
+  return result;
+}
+
+}  // namespace roboads::shard

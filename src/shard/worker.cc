@@ -1,0 +1,135 @@
+#include "shard/worker.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+
+#include "shard/checkpoint.h"
+#include "shard/heartbeat.h"
+#include "shard/manifest.h"
+
+namespace roboads::shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool flag_value(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  try {
+    const Manifest manifest = read_manifest_file(options.manifest_path);
+    fs::create_directories(options.dir);
+
+    // Which manifest jobs are ours.
+    std::set<std::string> wanted(options.job_ids.begin(),
+                                 options.job_ids.end());
+    std::vector<const ManifestJob*> assigned;
+    for (const ManifestJob& job : manifest.jobs) {
+      const bool by_id = wanted.erase(job.id) > 0;
+      const bool by_shard = options.job_ids.empty() && options.shard >= 0 &&
+                            job.shard == static_cast<std::size_t>(options.shard);
+      if (by_id || by_shard) assigned.push_back(&job);
+    }
+    if (!wanted.empty()) {
+      throw ManifestError("job \"" + *wanted.begin() +
+                          "\" is not in the manifest");
+    }
+
+    // Repair our own checkpoint (torn tail from a previous kill), then skip
+    // everything it already records. Only our *own* file is repaired —
+    // sibling workers may be appending to theirs right now.
+    const std::string path = checkpoint_path(options.dir, options.label);
+    std::set<std::string> done;
+    for (const JobOutcome& outcome :
+         read_checkpoint_file(path, /*repair=*/true)) {
+      done.insert(outcome.id);
+    }
+    const bool fresh = !fs::exists(path) || fs::file_size(path) == 0;
+    std::ofstream os(path, fresh ? std::ios::binary
+                                 : std::ios::binary | std::ios::app);
+    if (!os) {
+      std::cerr << "worker " << options.label << ": cannot open " << path
+                << "\n";
+      return 2;
+    }
+    if (fresh) write_checkpoint_header(os);
+
+    ExecConfig exec;
+    exec.run_dir = options.dir;
+    exec.record_bundles = options.record_bundles;
+    exec.shrink_budget = options.shrink_budget;
+
+    const std::string beat = heartbeat_path(options.dir, options.label);
+    write_heartbeat(beat, options.label);
+    for (const ManifestJob* job : assigned) {
+      if (done.count(job->id) != 0) continue;
+      write_heartbeat(beat, options.label);
+      append_outcome(os, execute_job(*job, exec));
+    }
+    write_heartbeat(beat, options.label);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "worker " << options.label << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int worker_main(const std::vector<std::string>& args) {
+  WorkerOptions options;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (flag_value(arg, "--manifest", &value)) {
+      options.manifest_path = value;
+    } else if (flag_value(arg, "--dir", &value)) {
+      options.dir = value;
+    } else if (flag_value(arg, "--label", &value)) {
+      options.label = value;
+    } else if (flag_value(arg, "--shard", &value)) {
+      options.shard = std::stoi(value);
+    } else if (flag_value(arg, "--job", &value)) {
+      options.job_ids.push_back(value);
+    } else if (flag_value(arg, "--shrink-budget", &value)) {
+      options.shrink_budget = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--bundles") {
+      options.record_bundles = true;
+    } else {
+      std::cerr << "shard worker: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (options.manifest_path.empty() || options.dir.empty() ||
+      options.label.empty()) {
+    std::cerr << "shard worker: --manifest, --dir and --label are required\n";
+    return 2;
+  }
+  return run_worker(options);
+}
+
+WorkerLauncher self_exec_launcher(const std::string& manifest_path,
+                                  const std::string& dir, bool record_bundles,
+                                  std::size_t shrink_budget) {
+  const std::string exe = fs::read_symlink("/proc/self/exe").string();
+  return [exe, manifest_path, dir, record_bundles, shrink_budget](
+             const std::string& label,
+             const std::vector<std::string>& job_ids) {
+    WorkerCommand command;
+    command.args = {exe, "--shard-worker", "--manifest=" + manifest_path,
+                    "--dir=" + dir, "--label=" + label};
+    if (record_bundles) command.args.push_back("--bundles");
+    command.args.push_back("--shrink-budget=" + std::to_string(shrink_budget));
+    for (const std::string& id : job_ids) {
+      command.args.push_back("--job=" + id);
+    }
+    return command;
+  };
+}
+
+}  // namespace roboads::shard

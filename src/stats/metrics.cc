@@ -73,4 +73,17 @@ double sample_stddev(const std::vector<double>& xs) {
   return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
+MeanCi95 mean_ci95(const std::vector<double>& xs) {
+  MeanCi95 ci;
+  ci.n = xs.size();
+  ci.mean = mean(xs);
+  ci.stddev = sample_stddev(xs);
+  const double half =
+      ci.n >= 2 ? 1.96 * ci.stddev / std::sqrt(static_cast<double>(ci.n))
+                : 0.0;
+  ci.lo = ci.mean - half;
+  ci.hi = ci.mean + half;
+  return ci;
+}
+
 }  // namespace roboads::stats

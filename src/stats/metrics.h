@@ -48,4 +48,15 @@ double roc_auc(std::vector<RocPoint> points);
 double mean(const std::vector<double>& xs);
 double sample_stddev(const std::vector<double>& xs);
 
+// Normal-approximation 95% confidence interval for the mean of a series:
+// mean ± 1.96 · s/√n. With n < 2 the half-width is 0 (no spread estimate).
+struct MeanCi95 {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double lo = 0.0;
+  double hi = 0.0;
+};
+MeanCi95 mean_ci95(const std::vector<double>& xs);
+
 }  // namespace roboads::stats

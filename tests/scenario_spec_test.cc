@@ -212,6 +212,131 @@ TEST(ScenarioSpecTest, RejectsBadObstructionGeometry) {
   EXPECT_NO_THROW(validate_spec(one_attack_spec(obstruction)));
 }
 
+// ---- Transport faults stanza ---------------------------------------------
+
+FaultSpec wheels_fault() {
+  FaultSpec f;
+  f.sensor = "wheel_encoder";
+  f.drop_rate = 0.1;
+  f.stale_rate = 0.05;
+  f.duplicate_rate = 0.02;
+  f.freeze_at = 40;
+  f.freeze_duration = 10;
+  return f;
+}
+
+TEST(ScenarioSpecTest, FaultStanzaRoundTripsByteIdentical) {
+  ScenarioSpec spec = one_attack_spec(ips_bias(60, kForever));
+  spec.faults.push_back(wheels_fault());
+  FaultSpec drop_only;
+  drop_only.sensor = "ips";
+  drop_only.drop_rate = 0.1 + 0.2;  // awkward double
+  spec.faults.push_back(drop_only);
+  spec.fault_seed = 987654321;
+
+  const std::string text = serialize(spec);
+  EXPECT_NE(text.find("fault \"wheel_encoder\" drop"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault-seed 987654321"), std::string::npos) << text;
+  const ScenarioSpec reparsed = parse(text);
+  EXPECT_EQ(serialize(reparsed), text);
+  ASSERT_EQ(reparsed.faults.size(), 2u);
+  EXPECT_EQ(reparsed.faults[0].freeze_at, 40u);
+  EXPECT_EQ(reparsed.faults[1].drop_rate, 0.1 + 0.2);  // exact
+  EXPECT_EQ(reparsed.fault_seed, 987654321u);
+  EXPECT_NO_THROW(validate_spec(reparsed));
+}
+
+TEST(ScenarioSpecTest, FaultSeedOmittedWithoutFaults) {
+  const ScenarioSpec spec = one_attack_spec(ips_bias(60, kForever));
+  EXPECT_EQ(serialize(spec).find("fault-seed"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RejectsInvalidFaultStanzas) {
+  const auto with_fault = [](FaultSpec f) {
+    ScenarioSpec spec = one_attack_spec(ips_bias(60, kForever));
+    spec.faults.push_back(std::move(f));
+    return spec;
+  };
+
+  FaultSpec unknown = wheels_fault();
+  unknown.sensor = "gps";
+  EXPECT_THROW(validate_spec(with_fault(unknown)), SpecError);
+
+  FaultSpec negative = wheels_fault();
+  negative.drop_rate = -0.1;
+  EXPECT_THROW(validate_spec(with_fault(negative)), SpecError);
+
+  FaultSpec oversum = wheels_fault();
+  oversum.drop_rate = 0.5;
+  oversum.stale_rate = 0.4;
+  oversum.duplicate_rate = 0.2;
+  EXPECT_THROW(validate_spec(with_fault(oversum)), SpecError);
+
+  FaultSpec no_onset = wheels_fault();
+  no_onset.freeze_at = 0;  // freeze_duration stays 10
+  EXPECT_THROW(validate_spec(with_fault(no_onset)), SpecError);
+
+  FaultSpec late_freeze = wheels_fault();
+  late_freeze.freeze_at = 250;  // at the horizon
+  EXPECT_THROW(validate_spec(with_fault(late_freeze)), SpecError);
+
+  ScenarioSpec duplicated = with_fault(wheels_fault());
+  duplicated.faults.push_back(wheels_fault());
+  EXPECT_THROW(validate_spec(duplicated), SpecError);
+
+  // All faults must be pre-checked as SpecErrors, never surface as the
+  // transport model's CheckErrors.
+  try {
+    validate_spec(with_fault(oversum));
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("sum"), std::string::npos);
+  } catch (const CheckError&) {
+    FAIL() << "fault errors must surface as SpecError, not CheckError";
+  }
+}
+
+TEST(ScenarioSpecTest, TransportFaultsLowerOntoSimConfig) {
+  ScenarioSpec spec = one_attack_spec(ips_bias(60, kForever));
+  spec.faults.push_back(wheels_fault());
+  spec.fault_seed = 2026;
+  const sim::TransportFaultConfig config = transport_faults_of(spec);
+  EXPECT_EQ(config.seed, 2026u);
+  ASSERT_EQ(config.sensors.size(), 1u);
+  EXPECT_EQ(config.sensors[0].sensor, "wheel_encoder");
+  EXPECT_EQ(config.sensors[0].drop_rate, 0.1);
+  EXPECT_EQ(config.sensors[0].freeze_duration, 10u);
+  EXPECT_TRUE(config.active());
+
+  // No faults stanza → inactive config → the bit-identical no-fault path.
+  const ScenarioSpec plain = one_attack_spec(ips_bias(60, kForever));
+  EXPECT_FALSE(transport_faults_of(plain).active());
+}
+
+TEST(ScenarioSpecTest, FaultedMissionsAreBitIdenticalPerSeed) {
+  ScenarioSpec spec = one_attack_spec(ips_bias(60, kForever), 120);
+  spec.seed = 77;
+  spec.faults.push_back(wheels_fault());
+  spec.fault_seed = 31337;
+
+  const SpecRun first = run_spec(spec);
+  const SpecRun second = run_spec(spec);
+  const eval::KheperaPlatform platform;
+  std::ostringstream csv_first, csv_second;
+  eval::write_trace_csv(csv_first, first.result, platform);
+  eval::write_trace_csv(csv_second, second.result, platform);
+  EXPECT_EQ(csv_first.str(), csv_second.str());
+
+  // And the faults must actually perturb the mission relative to a
+  // fault-free flight — the stanza is wired through, not dropped.
+  ScenarioSpec plain = spec;
+  plain.faults.clear();
+  const SpecRun unfaulted = run_spec(plain);
+  std::ostringstream csv_plain;
+  eval::write_trace_csv(csv_plain, unfaulted.result, platform);
+  EXPECT_NE(csv_first.str(), csv_plain.str());
+}
+
 // ---- Parser diagnostics --------------------------------------------------
 
 TEST(ScenarioSpecTest, ParseErrorsCarryLineNumbers) {

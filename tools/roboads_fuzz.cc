@@ -7,20 +7,34 @@
 // usage errors.
 //
 //   roboads_fuzz [--seed=N] [--campaigns=N] [--iterations=N]
-//                [--max-attacks=N] [--platform=NAME] [--threads=N]
-//                [--corpus-out=DIR]
+//                [--max-attacks=N] [--fault-probability=P] [--platform=NAME]
+//                [--threads=N] [--corpus-out=DIR]
+//                [--workers=N --shard-dir=DIR [--resume]]
 //
 // --platform may repeat; default is every known platform. --corpus-out
 // writes each finding's shrunk spec as DIR/<invariant>-<index>.spec, ready
 // to check into tests/data/fuzz_corpus/ once the underlying bug is fixed.
+//
+// --workers=N runs the sweep as a crash-resilient sharded campaign instead
+// of in-process threads: N supervised worker processes (re-execs of this
+// binary) fly the identical campaign set, checkpointing per-campaign results
+// under --shard-dir so a killed sweep resumes with --resume. Campaign
+// regeneration is seed-deterministic, so sharded and serial sweeps produce
+// the same findings.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "scenario/fuzz.h"
 #include "scenario/spec.h"
+#include "shard/checkpoint.h"
+#include "shard/manifest.h"
+#include "shard/merge.h"
+#include "shard/supervise.h"
+#include "shard/worker.h"
 
 namespace {
 
@@ -28,8 +42,9 @@ namespace {
   std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
   std::fprintf(stderr,
                "usage: %s [--seed=N] [--campaigns=N] [--iterations=N] "
-               "[--max-attacks=N] [--platform=NAME]... [--threads=N] "
-               "[--corpus-out=DIR]\n",
+               "[--max-attacks=N] [--fault-probability=P] "
+               "[--platform=NAME]... [--threads=N] [--corpus-out=DIR] "
+               "[--workers=N --shard-dir=DIR [--resume]]\n",
                argv0);
   std::exit(2);
 }
@@ -56,9 +71,17 @@ int main(int argc, char** argv) {
   using roboads::scenario::FuzzFinding;
   using roboads::scenario::FuzzReport;
 
+  // Supervisor-spawned worker processes re-exec this binary.
+  if (argc >= 2 && std::strcmp(argv[1], "--shard-worker") == 0) {
+    return roboads::shard::worker_main({argv + 2, argv + argc});
+  }
+
   FuzzConfig config;
   config.platforms.clear();
   std::string corpus_out;
+  std::size_t workers = 0;
+  std::string shard_dir;
+  bool resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -72,6 +95,13 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--max-attacks=", 14) == 0) {
       config.max_attacks =
           parse_count(argv[0], "--max-attacks", arg + 14, false);
+    } else if (std::strncmp(arg, "--fault-probability=", 20) == 0) {
+      char* end = nullptr;
+      config.fault_probability = std::strtod(arg + 20, &end);
+      if (end == arg + 20 || *end != '\0' || config.fault_probability < 0.0 ||
+          config.fault_probability > 1.0) {
+        usage_error(argv[0], "--fault-probability expects a value in [0,1]");
+      }
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       config.num_threads = parse_count(argv[0], "--threads", arg + 10, true);
     } else if (std::strncmp(arg, "--platform=", 11) == 0) {
@@ -81,6 +111,12 @@ int main(int argc, char** argv) {
       if (corpus_out.empty()) {
         usage_error(argv[0], "--corpus-out expects a directory");
       }
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      workers = parse_count(argv[0], "--workers", arg + 10, false);
+    } else if (std::strncmp(arg, "--shard-dir=", 12) == 0) {
+      shard_dir = arg + 12;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
     } else {
       usage_error(argv[0], std::string("unknown argument \"") + arg + "\"");
     }
@@ -90,6 +126,79 @@ int main(int argc, char** argv) {
   }
   for (const std::string& platform : config.platforms) {
     roboads::scenario::platform_traits(platform);  // throws on a bad name
+  }
+  if (workers > 0 && shard_dir.empty()) {
+    usage_error(argv[0], "--workers needs --shard-dir");
+  }
+  if ((resume || !shard_dir.empty()) && workers == 0) {
+    usage_error(argv[0], "--shard-dir/--resume need --workers");
+  }
+
+  if (workers > 0) {
+    namespace shard = roboads::shard;
+    namespace fs = std::filesystem;
+    try {
+      fs::create_directories(shard_dir);
+      const std::string manifest_path = shard_dir + "/manifest.jsonl";
+      if (resume && fs::exists(manifest_path)) {
+        // The stored manifest is the campaign being resumed; the sweep flags
+        // of the original invocation win over whatever was passed now.
+        std::printf("resuming sharded sweep from %s\n", shard_dir.c_str());
+      } else {
+        shard::write_manifest_file(manifest_path,
+                                   shard::fuzz_manifest(config, workers));
+      }
+      const shard::Manifest manifest =
+          shard::read_manifest_file(manifest_path);
+
+      shard::SupervisorConfig supervisor;
+      const shard::SuperviseResult supervised = shard::supervise(
+          manifest, shard_dir, supervisor,
+          shard::self_exec_launcher(manifest_path, shard_dir,
+                                    /*record_bundles=*/false));
+      const shard::MergedReport report =
+          shard::merge_run(manifest, shard_dir);
+      std::ofstream os(shard_dir + "/report.jsonl", std::ios::binary);
+      os << report.text;
+
+      std::printf("%zu/%zu campaigns flown over %zu workers "
+                  "(%zu launches, %zu crashes, %zu hangs)\n",
+                  report.stats.completed, report.stats.total_jobs,
+                  manifest.shards, supervised.launches, supervised.crashes,
+                  supervised.hangs);
+      std::size_t findings = 0;
+      for (const shard::JobOutcome& outcome :
+           shard::load_run_outcomes(shard_dir)) {
+        for (const shard::OutcomeFinding& finding : outcome.findings) {
+          std::printf("\n== finding: %s (%s)\n  %s\n",
+                      finding.invariant.c_str(), outcome.id.c_str(),
+                      finding.detail.c_str());
+          std::printf("-- shrunk reproducer:\n%s", finding.shrunk_text.c_str());
+          if (!corpus_out.empty()) {
+            const std::string path = corpus_out + "/" + finding.invariant +
+                                     "-" + outcome.id + ".spec";
+            std::ofstream spec_os(path);
+            if (!spec_os) {
+              std::fprintf(stderr, "cannot write %s\n", path.c_str());
+              return 2;
+            }
+            spec_os << finding.shrunk_text;
+            std::printf("-- written to %s\n", path.c_str());
+          }
+          ++findings;
+        }
+      }
+      std::printf("%zu findings\n", findings);
+      if (!report.stats.complete) {
+        std::fprintf(stderr, "partial coverage: %zu campaigns missing\n",
+                     report.stats.missing_ids.size());
+        return 3;
+      }
+      return findings == 0 && report.stats.failed == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
   }
 
   std::printf("fuzzing %zu campaigns (seed %llu, %zu iterations, up to %zu "
