@@ -23,6 +23,10 @@
 #   ./ci.sh shard-smoke # ~30 s sharded fuzz campaign with an injected
 #                      # worker kill and a supervisor kill + --resume; the
 #                      # merged report must be byte-identical to a serial run
+#   ./ci.sh watch-smoke # ~10 s sharded mini-campaign with live telemetry;
+#                      # `roboads_shard watch --once --json` must agree with
+#                      # checkpoint-derived truth, and roboads_report must
+#                      # fail loudly on missing/truncated metrics files
 #
 # JOBS=<n> overrides the parallelism (default: nproc). FUZZ_SEED=<n> varies
 # the fuzz-smoke campaign seed (default 1; CI can rotate it per run).
@@ -65,9 +69,10 @@ run_forensics_smoke() {
   echo "forensics smoke: replay verified and alarm timelines match"
 }
 
-# Observability overhead gate: disabled hooks and the always-on flight
-# recorder must both stay under the documented 2% budget (the binary exits
-# non-zero otherwise).
+# Observability overhead gate: disabled hooks, the always-on flight
+# recorder, and the shard workers' live-telemetry tier (coarse timers +
+# periodic snapshot) must all stay under the documented 2% budget (the
+# binary exits non-zero otherwise).
 run_obs_overhead() {
   local dir="$1"
   "$dir/bench/obs_overhead"
@@ -149,6 +154,85 @@ run_shard_smoke() {
   echo "shard smoke: chaos and resumed runs merged byte-identical to serial"
 }
 
+# Live-telemetry smoke (docs/OBSERVABILITY.md "Live campaign telemetry"):
+# a ~10 s sharded mini-campaign with a worker kill injected, telemetry
+# streaming on a fast cadence, then `roboads_shard watch --once --json`
+# twice — once from the supervisor-published status.json, once recomputed
+# offline from the manifest + checkpoints — asserted against
+# checkpoint-derived truth (every manifest job completed exactly once, step
+# latency histogram populated). Also pins roboads_report's failure
+# contract: missing and truncated metrics files exit non-zero with a
+# diagnostic, and a valid file still renders.
+run_watch_smoke() {
+  local dir="$1"
+  cmake -B "$dir" -S .
+  cmake --build "$dir" -j "$JOBS" --target roboads_shard_tool roboads_report
+  local out="$dir/watch-smoke"
+  rm -rf "$out" && mkdir -p "$out"
+  local manifest="$out/manifest.jsonl"
+  "$dir/tools/roboads_shard" gen-fuzz --out="$manifest" \
+    --seed="${FUZZ_SEED:-1}" --campaigns=16 --iterations=60 --shards=2
+  "$dir/tools/roboads_shard" run --manifest="$manifest" \
+    --dir="$out/run" --chaos-kills=1 --chaos-seed="${FUZZ_SEED:-1}" \
+    --heartbeat-timeout=5 --telemetry-interval=0.2 --status-interval=0.2
+  "$dir/tools/roboads_shard" watch --dir="$out/run" --once --json \
+    > "$out/status_published.json"
+  "$dir/tools/roboads_shard" watch --dir="$out/run" --manifest="$manifest" \
+    --once --json > "$out/status_offline.json"
+  python3 - "$out" "$out/run" <<'PY'
+import glob, json, sys
+
+out, run = sys.argv[1], sys.argv[2]
+ids = set()
+for path in glob.glob(run + "/checkpoint-*.jsonl"):
+    with open(path) as f:
+        for line in f:
+            record = json.loads(line)
+            if record.get("event") == "outcome":
+                ids.add(record["id"])
+manifest_ids = set()
+with open(out + "/manifest.jsonl") as f:
+    for line in f:
+        record = json.loads(line)
+        if "id" in record:
+            manifest_ids.add(record["id"])
+assert ids == manifest_ids, (
+    f"checkpoints cover {len(ids)} jobs, manifest has {len(manifest_ids)}")
+
+for name in ("status_published.json", "status_offline.json"):
+    status = json.load(open(out + "/" + name))
+    assert status["event"] == "status", name
+    assert status["jobs"] == len(manifest_ids), name
+    assert status["completed"] == len(manifest_ids), name
+    assert status["complete"] is True, name
+    assert status["progress"] == 1.0, name
+    assert status["ok"] + status["failed"] == status["completed"], name
+    assert status["step_latency"]["count"] > 0, name + ": empty histogram"
+    assert sum(w["jobs_done"] for w in status["workers"]) >= len(
+        manifest_ids), name
+print(f"watch smoke: both status views agree with {len(ids)} "
+      "checkpointed jobs")
+PY
+
+  if "$dir/tools/roboads_report" "$out/missing.jsonl" \
+      2> "$out/report_missing.txt"; then
+    echo "watch smoke: roboads_report accepted a missing file" >&2
+    exit 1
+  fi
+  grep -q "missing" "$out/report_missing.txt"
+  printf '{"metric":"a","kind":"counter","value":1}\n{"metric":"b","kind":"cou' \
+    > "$out/truncated.jsonl"
+  if "$dir/tools/roboads_report" "$out/truncated.jsonl" \
+      2> "$out/report_truncated.txt"; then
+    echo "watch smoke: roboads_report accepted a truncated file" >&2
+    exit 1
+  fi
+  grep -q "truncated" "$out/report_truncated.txt"
+  printf '{"metric":"a","kind":"counter","value":1}\n' > "$out/valid.jsonl"
+  "$dir/tools/roboads_report" "$out/valid.jsonl" > /dev/null
+  echo "watch smoke: watch agrees with checkpoints; report fails loudly"
+}
+
 case "$MODE" in
   normal)
     run_pass build
@@ -162,6 +246,7 @@ case "$MODE" in
   bench)  run_bench ;;
   fuzz-smoke) run_fuzz_smoke build ;;
   shard-smoke) run_shard_smoke build ;;
+  watch-smoke) run_watch_smoke build ;;
   all)
     run_pass build
     run_obs_smoke build
@@ -170,10 +255,11 @@ case "$MODE" in
     run_bench
     run_fuzz_smoke build
     run_shard_smoke build
+    run_watch_smoke build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|watch-smoke|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

@@ -32,8 +32,14 @@ MultiModeEngine::MultiModeEngine(const dyn::DynamicModel& model,
   // registry mutex. With no registry attached every handle stays null and
   // instrumentation compiles down to per-site null checks.
   if (obs::MetricsRegistry* metrics = config_.instruments.metrics) {
-    stage_timers_ = NuiseStageTimers::resolve(metrics);
-    for (Nuise& est : estimators_) est.set_stage_timers(&stage_timers_);
+    // coarse_timers keeps the whole-step timers and counters but skips the
+    // per-stage NUISE timers (no handles set → SplitTimer disabled → zero
+    // clock reads inside the estimator), trading stage breakdown for the
+    // always-on telemetry budget (obs/obs.h).
+    if (!config_.instruments.coarse_timers) {
+      stage_timers_ = NuiseStageTimers::resolve(metrics);
+      for (Nuise& est : estimators_) est.set_stage_timers(&stage_timers_);
+    }
     h_step_ = &metrics->histogram("engine.step_ns",
                                   obs::default_latency_bounds_ns());
     c_mode_selected_.reserve(modes_.size());

@@ -1,8 +1,11 @@
 #include "obs/jsonl.h"
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -280,6 +283,58 @@ void write_strings(std::ostream& os, const std::vector<std::string>& v) {
     write_escaped(os, v[i]);
   }
   os << ']';
+}
+
+TailTolerantRead read_jsonl_tail_tolerant(
+    const std::string& path,
+    const std::function<void(const std::string& line, std::size_t line_no)>&
+        consume,
+    bool repair,
+    const std::function<void(const std::exception&)>& on_corrupt) {
+  TailTolerantRead result;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return result;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t line_no = 0;
+  std::size_t offset = 0;    // start of the current line
+  std::size_t good_end = 0;  // byte length of the valid prefix
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    const bool complete = newline != std::string::npos;
+    const std::string line =
+        text.substr(offset, complete ? newline - offset : std::string::npos);
+    ++line_no;
+    // A line without a terminating newline is by definition mid-write.
+    bool ok = complete && !line.empty();
+    if (ok) {
+      try {
+        consume(line, line_no);
+        ++result.lines;
+      } catch (const std::exception& e) {
+        ok = false;
+        const bool final_line = newline + 1 >= text.size();
+        if (!final_line) {
+          if (on_corrupt) on_corrupt(e);
+          throw CheckError(path + ": corrupt record (" +
+                           std::string(e.what()) + ")");
+        }
+      }
+    }
+    if (!ok) {
+      result.torn = true;
+      break;
+    }
+    good_end = newline + 1;
+    offset = newline + 1;
+  }
+
+  if (result.torn && repair) {
+    std::filesystem::resize_file(path, good_end);
+  }
+  return result;
 }
 
 }  // namespace roboads::obs::json

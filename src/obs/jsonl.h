@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -75,5 +76,29 @@ void write_field_key(std::ostream& os, const char* key, bool first = false);
 void write_doubles(std::ostream& os, const std::vector<double>& v);
 void write_ints(std::ostream& os, const std::vector<std::int64_t>& v);
 void write_strings(std::ostream& os, const std::vector<std::string>& v);
+
+// --- Torn-tail-tolerant reading of append-only JSONL stream files (shard
+// checkpoints, worker telemetry). A process killed mid-append leaves at most
+// one damaged line, and by construction it is the last one.
+
+struct TailTolerantRead {
+  std::size_t lines = 0;  // complete lines handed to `consume`
+  bool torn = false;      // a torn tail was dropped (and repaired if asked)
+};
+
+// Reads `path` line by line, invoking `consume(line, line_no)` for each
+// newline-terminated line. The *final* line is allowed to be mid-write: if
+// it lacks its newline, is empty, or `consume` throws on it, it is dropped
+// (and the file truncated back to the valid prefix when `repair` is set).
+// A line that fails anywhere *earlier* is real corruption, not a torn tail
+// — silently dropping completed records would undercount — so the consume
+// exception is rethrown through `on_corrupt` (which must throw; defaults
+// to CheckError tagged with `path`). A missing file reads as empty.
+TailTolerantRead read_jsonl_tail_tolerant(
+    const std::string& path,
+    const std::function<void(const std::string& line, std::size_t line_no)>&
+        consume,
+    bool repair,
+    const std::function<void(const std::exception&)>& on_corrupt = {});
 
 }  // namespace roboads::obs::json

@@ -1,10 +1,12 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "common/check.h"
 #include "obs/json.h"
+#include "obs/jsonl.h"
 
 namespace roboads::obs {
 namespace internal {
@@ -18,26 +20,154 @@ std::size_t this_thread_stripe() {
 
 }  // namespace internal
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-  ROBOADS_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
-  for (std::size_t i = 1; i < bounds_.size(); ++i) {
-    ROBOADS_CHECK(bounds_[i - 1] < bounds_[i],
+namespace {
+
+void check_bounds(const std::vector<double>& bounds) {
+  ROBOADS_CHECK(!bounds.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    ROBOADS_CHECK(bounds[i - 1] < bounds[i],
                   "histogram bounds must be strictly ascending");
   }
+}
+
+std::size_t bucket_index(const std::vector<double>& bounds, double v) {
+  // First bucket whose upper bound admits v; everything past the last bound
+  // lands in the overflow bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double max,
+                       double q) {
+  ROBOADS_CHECK(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= target) {
+      return b < bounds.size() ? bounds[b] : max;
+    }
+  }
+  return max;
+}
+
+}  // namespace
+
+HistogramSnapshot HistogramSnapshot::with_bounds(std::vector<double> bounds) {
+  check_bounds(bounds);
+  HistogramSnapshot h;
+  h.buckets.assign(bounds.size() + 1, 0);
+  h.bounds = std::move(bounds);
+  return h;
+}
+
+double HistogramSnapshot::stddev() const {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  // Unbiased sample variance from the moment sums; clamp the numerically
+  // cancelled negative tail to zero.
+  const double var = std::max(0.0, (sum_squares - sum * sum / n) / (n - 1.0));
+  return std::sqrt(var);
+}
+
+double HistogramSnapshot::ci95_half_width() const {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count));
+}
+
+void HistogramSnapshot::record(double v) {
+  ROBOADS_CHECK(!bounds.empty(), "recording into a bound-less snapshot");
+  ++buckets[bucket_index(bounds, v)];
+  ++count;
+  sum += v;
+  sum_squares += v * v;
+  if (v > max) max = v;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.bounds.empty()) {
+    ROBOADS_CHECK(other.count == 0, "snapshot with samples but no bounds");
+    return;
+  }
+  if (bounds.empty()) {
+    ROBOADS_CHECK(count == 0, "snapshot with samples but no bounds");
+    *this = other;
+    return;
+  }
+  ROBOADS_CHECK(bounds == other.bounds,
+                "merging histograms with different bucket bounds");
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+  sum_squares += other.sum_squares;
+  if (other.max > max) max = other.max;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  return bucket_quantile(bounds, buckets, max, q);
+}
+
+void write_histogram(std::ostream& os, const HistogramSnapshot& h) {
+  os << '{';
+  json::write_field_key(os, "bounds", /*first=*/true);
+  json::write_doubles(os, h.bounds);
+  json::write_field_key(os, "buckets");
+  os << '[';
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (b > 0) os << ',';
+    os << h.buckets[b];
+  }
+  os << ']';
+  json::write_field_key(os, "count");
+  os << h.count;
+  json::write_field_key(os, "sum");
+  json::write_number(os, h.sum);
+  json::write_field_key(os, "sumsq");
+  json::write_number(os, h.sum_squares);
+  json::write_field_key(os, "max");
+  json::write_number(os, h.max);
+  os << '}';
+}
+
+HistogramSnapshot parse_histogram(const json::Fields& object) {
+  HistogramSnapshot h;
+  h.bounds = object.numbers("bounds");
+  for (std::int64_t b : object.integers("buckets")) {
+    h.buckets.push_back(static_cast<std::uint64_t>(b));
+  }
+  h.count = static_cast<std::uint64_t>(object.integer("count"));
+  h.sum = object.number("sum");
+  h.sum_squares = object.number("sumsq");
+  h.max = object.number("max");
+  if (!h.bounds.empty()) {
+    check_bounds(h.bounds);
+    ROBOADS_CHECK(h.buckets.size() == h.bounds.size() + 1,
+                  "histogram bucket count does not match bounds");
+  }
+  return h;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  check_bounds(bounds_);
   for (Stripe& s : stripes_) {
     s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
   }
 }
 
 void Histogram::record(double v) {
-  // First bucket whose upper bound admits v; everything past the last bound
-  // lands in the overflow bucket.
-  const std::size_t bucket = static_cast<std::size_t>(
-      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t bucket = bucket_index(bounds_, v);
   Stripe& s = stripes_[internal::this_thread_stripe()];
   s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   s.count.fetch_add(1, std::memory_order_relaxed);
   internal::atomic_add(s.sum, v);
+  internal::atomic_add(s.sum_squares, v * v);
   internal::atomic_max(max_, v);
 }
 
@@ -57,7 +187,26 @@ double Histogram::sum() const {
   return total;
 }
 
+double Histogram::sum_squares() const {
+  double total = 0.0;
+  for (const Stripe& s : stripes_) {
+    total += s.sum_squares.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot h;
+  h.bounds = bounds_;
+  h.buckets = bucket_counts();
+  h.count = count();
+  h.sum = sum();
+  h.sum_squares = sum_squares();
+  h.max = max();
+  return h;
+}
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
@@ -70,21 +219,7 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  ROBOADS_CHECK(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
-  const std::vector<std::uint64_t> counts = bucket_counts();
-  std::uint64_t total = 0;
-  for (std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  const std::uint64_t target =
-      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < counts.size(); ++b) {
-    seen += counts[b];
-    if (seen >= target) {
-      return b < bounds_.size() ? bounds_[b] : max();
-    }
-  }
-  return max();
+  return bucket_quantile(bounds_, bucket_counts(), max(), q);
 }
 
 const std::vector<double>& default_latency_bounds_ns() {
@@ -92,6 +227,13 @@ const std::vector<double>& default_latency_bounds_ns() {
       250.0, 500.0, 1e3,   2.5e3, 5e3,   1e4,   2.5e4, 5e4,   1e5,
       2.5e5, 5e5,   1e6,   2.5e6, 5e6,   1e7,   2.5e7, 5e7,   1e8,
       2.5e8, 1e9};
+  return bounds;
+}
+
+const std::vector<double>& default_delay_bounds_s() {
+  static const std::vector<double> bounds = {
+      0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+      600.0};
   return bounds;
 }
 

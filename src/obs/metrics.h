@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,10 @@
 #include <vector>
 
 namespace roboads::obs {
+
+namespace json {
+class Fields;
+}  // namespace json
 
 // Stripe count for counters/histograms (power of two). Sized well past the
 // mode-level fan-out of the bundled platforms; threads beyond it share
@@ -95,11 +100,59 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// One histogram's complete state detached from the live striped cells: the
+// exchange format of the campaign telemetry plane (docs/OBSERVABILITY.md
+// "Live campaign telemetry"). Snapshots are *exactly* mergeable — bucket
+// counts and moment sums add, so merging per-worker snapshots in any order
+// or grouping yields the same result as one histogram that recorded every
+// sample (tests/obs_histogram_test.cc) — and byte round-trippable through
+// write_histogram/parse_histogram below.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // ascending bucket upper edges
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1; last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  double max = 0.0;
+
+  // Empty snapshot over the given bounds (same validation as Histogram).
+  static HistogramSnapshot with_bounds(std::vector<double> bounds);
+
+  bool empty() const { return count == 0; }
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+  // Sample standard deviation recovered from the moment sums (0 for n < 2).
+  double stddev() const;
+  // Half-width of the normal-approximation 95% CI on the mean, matching
+  // stats::mean_ci95 (0 for n < 2).
+  double ci95_half_width() const;
+
+  // Offline single-threaded counterpart of Histogram::record, for building
+  // distributions during aggregation (e.g. per-group detection delays in
+  // the merged report) without a live registry.
+  void record(double v);
+
+  // Folds `other` in. Bounds must match exactly; merging into a
+  // default-constructed (bound-less) snapshot adopts the other's bounds.
+  void merge(const HistogramSnapshot& other);
+
+  // Upper-bound estimate of the q-quantile (q in [0, 1]) from the bucket
+  // counts: the upper edge of the bucket holding the q-th sample, with the
+  // recorded max standing in for the open overflow bucket.
+  double quantile(double q) const;
+};
+
+// Serializes a snapshot as a JSON object (one line, no trailing newline):
+// {"bounds":[...],"buckets":[...],"count":N,"sum":S,"sumsq":Q,"max":M}.
+// Numbers use round-trip precision, so write→parse→write is byte-stable.
+void write_histogram(std::ostream& os, const HistogramSnapshot& h);
+HistogramSnapshot parse_histogram(const json::Fields& object);
+
 // Fixed-bucket histogram. Bucket i counts samples v with v <= bounds[i]
 // (first matching bucket); an implicit overflow bucket catches the rest.
-// Recording is lock-free: bucket counts live in striped atomic cells, and
-// the running sum/max use striped CAS adds, so concurrent recorders from
-// the thread pool never serialize on a lock.
+// Recording is lock-free and allocation-free: bucket counts live in striped
+// atomic cells, and the running sum/sum-of-squares/max use striped CAS
+// adds, so concurrent recorders from the thread pool never serialize on a
+// lock.
 class Histogram {
  public:
   // `bounds` must be non-empty and strictly ascending.
@@ -109,6 +162,7 @@ class Histogram {
 
   std::uint64_t count() const;
   double sum() const;
+  double sum_squares() const;
   double max() const;
   double mean() const { return count() == 0 ? 0.0 : sum() / count(); }
 
@@ -116,9 +170,15 @@ class Histogram {
   // Per-bucket counts, bounds().size() + 1 entries (last = overflow).
   std::vector<std::uint64_t> bucket_counts() const;
 
-  // Upper-bound estimate of the q-quantile (q in [0, 1]) from the bucket
-  // counts: the upper edge of the bucket holding the q-th sample, with the
-  // recorded max standing in for the open overflow bucket.
+  // Coherent-enough copy of the full state for merging/serialization.
+  // Concurrent recorders may land between the stripe reads, so a snapshot
+  // taken mid-flight can be internally skewed by in-progress records — the
+  // telemetry plane only snapshots quiescent or monotonically growing
+  // histograms, where this is a freshness question, not a correctness one.
+  HistogramSnapshot snapshot() const;
+
+  // Upper-bound estimate of the q-quantile (q in [0, 1]); see
+  // HistogramSnapshot::quantile.
   double quantile(double q) const;
 
  private:
@@ -126,6 +186,7 @@ class Histogram {
     std::vector<std::atomic<std::uint64_t>> buckets;
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
+    std::atomic<double> sum_squares{0.0};
   };
 
   std::vector<double> bounds_;
@@ -136,6 +197,10 @@ class Histogram {
 // Default bucket boundaries for nanosecond-scale latency timers: roughly
 // logarithmic from 250 ns to 1 s.
 const std::vector<double>& default_latency_bounds_ns();
+
+// Default bucket boundaries for second-scale detection delays: roughly
+// logarithmic from 50 ms to 10 min.
+const std::vector<double>& default_delay_bounds_s();
 
 // One metric's aggregated state at snapshot time.
 struct MetricSample {

@@ -62,6 +62,14 @@ struct Instruments {
   TraceSink* trace = nullptr;
   FlightRecorder* recorder = nullptr;
 
+  // Coarse-timer tier for always-on telemetry (the sharded campaign
+  // workers): keep the whole-step timers (engine.step_ns,
+  // decision.evaluate_ns) and every counter/gauge, but skip resolving the
+  // five per-stage NUISE timers, whose 10 extra clock reads per step
+  // dominate the metrics tier's cost (docs/OBSERVABILITY.md overhead
+  // table). Ignored when `metrics` is null.
+  bool coarse_timers = false;
+
   bool enabled() const {
     return metrics != nullptr || trace != nullptr || recorder != nullptr;
   }

@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "common/check.h"
+#include "obs/jsonl.h"
 
 namespace roboads::obs {
 namespace {
 
 constexpr char kModeSelectedPrefix[] = "engine.mode_selected.";
 
-std::string fmt_ns(double ns) {
+std::string fmt_ns(double ns) { return format_duration_ns(ns); }
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::string format_duration_ns(double ns) {
   char buf[32];
   if (ns >= 1e9) {
     std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
@@ -23,14 +35,11 @@ std::string fmt_ns(double ns) {
   return buf;
 }
 
-bool has_prefix(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
+std::string render_report(const MetricsRegistry& registry) {
+  return render_report(registry.snapshot());
 }
 
-}  // namespace
-
-std::string render_report(const MetricsRegistry& registry) {
-  const std::vector<MetricSample> samples = registry.snapshot();
+std::string render_report(const std::vector<MetricSample>& samples) {
   std::ostringstream os;
   os << "== roboads_report "
         "==============================================\n";
@@ -115,6 +124,71 @@ std::string render_report(const MetricsRegistry& registry) {
 
   os << "===============================================================\n";
   return os.str();
+}
+
+std::vector<MetricSample> load_metrics_jsonl(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw CheckError(path + ": cannot open metrics file (missing or "
+                     "unreadable)");
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    throw CheckError(path + ": metrics file is empty — the producing run "
+                     "wrote no metrics (was --metrics-out set and the run "
+                     "finished?)");
+  }
+  if (text.back() != '\n') {
+    throw CheckError(path + ": metrics file is truncated (final line has "
+                     "no newline — the producing run was cut off "
+                     "mid-write)");
+  }
+
+  std::vector<MetricSample> samples;
+  std::size_t line_no = 0;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    const std::string line = text.substr(offset, newline - offset);
+    offset = newline + 1;
+    ++line_no;
+    if (line.empty()) {
+      throw CheckError(path + " line " + std::to_string(line_no) +
+                       ": blank line in metrics file (truncated or "
+                       "corrupt)");
+    }
+    const std::string context = path + " line " + std::to_string(line_no);
+    json::Fields f(json::parse_object_line(line, context), context);
+    MetricSample s;
+    s.name = f.string("metric");
+    const std::string& kind = f.string("kind");
+    if (kind == "counter") {
+      s.kind = MetricSample::Kind::kCounter;
+    } else if (kind == "gauge") {
+      s.kind = MetricSample::Kind::kGauge;
+    } else if (kind == "histogram") {
+      s.kind = MetricSample::Kind::kHistogram;
+    } else {
+      throw CheckError(context + ": unknown metric kind '" + kind + "'");
+    }
+    s.value = f.number("value");
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      s.sum = f.number("sum");
+      s.mean = f.number("mean");
+      s.p50 = f.number("p50");
+      s.p90 = f.number("p90");
+      s.p95 = f.number("p95");
+      s.p99 = f.number("p99");
+      s.max = f.number("max");
+      for (std::int64_t b : f.integers("buckets")) {
+        s.buckets.push_back(static_cast<std::uint64_t>(b));
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
 }
 
 }  // namespace roboads::obs

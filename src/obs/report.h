@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -16,5 +17,20 @@ namespace roboads::obs {
 // gauges. Returns a non-empty string even for an empty registry so callers
 // can print unconditionally.
 std::string render_report(const MetricsRegistry& registry);
+
+// Same rendering over an already-materialized snapshot — the offline path:
+// `roboads_report <metrics.jsonl>` loads a file written by
+// MetricsRegistry::write_jsonl and re-renders it.
+std::string render_report(const std::vector<MetricSample>& samples);
+
+// Loads a metrics JSONL file back into samples. Loud on anything that
+// would otherwise render as a silently empty report: throws CheckError if
+// the file is missing, empty, truncated mid-line (no final newline), or
+// holds an unparseable/alien line (diagnostics carry the line number).
+std::vector<MetricSample> load_metrics_jsonl(const std::string& path);
+
+// "17.40us"-style human duration for a nanosecond quantity; shared by the
+// report and the live `roboads_shard watch` status renderer.
+std::string format_duration_ns(double ns);
 
 }  // namespace roboads::obs

@@ -194,7 +194,8 @@ ScenarioSpec random_campaign(std::mt19937_64& engine,
   return spec;
 }
 
-std::optional<InvariantViolation> check_campaign(const ScenarioSpec& spec) {
+std::optional<InvariantViolation> check_campaign(
+    const ScenarioSpec& spec, const obs::Instruments& instruments) {
   const auto fail = [](std::string invariant, std::string detail) {
     return InvariantViolation{std::move(invariant), std::move(detail)};
   };
@@ -209,6 +210,7 @@ std::optional<InvariantViolation> check_campaign(const ScenarioSpec& spec) {
     config.iterations = spec.iterations;
     config.seed = spec.seed;
     config.transport_faults = transport_faults_of(spec, *platform);
+    config.instruments = instruments;
     result = eval::run_mission(*platform, scenario, config);
   } catch (const SpecError& e) {
     return fail("spec-rejected", e.what());
@@ -324,7 +326,11 @@ ScenarioSpec shrink_campaign(const ScenarioSpec& spec,
                              const InvariantViolation& violation,
                              std::size_t budget,
                              std::size_t* missions_spent) {
-  return shrink_campaign_with(spec, violation, check_campaign, budget,
+  return shrink_campaign_with(spec, violation,
+                              [](const ScenarioSpec& s) {
+                                return check_campaign(s);
+                              },
+                              budget,
                               missions_spent);
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "scenario/compile.h"
 
 namespace roboads::scenario {
@@ -72,7 +73,10 @@ ScenarioSpec random_campaign(std::mt19937_64& engine,
                              const FuzzConfig& config);
 
 // Compiles and flies `spec`, checks every invariant above; nullopt = clean.
-std::optional<InvariantViolation> check_campaign(const ScenarioSpec& spec);
+// `instruments` only records timings/counters (telemetry) — it cannot
+// change the verdict.
+std::optional<InvariantViolation> check_campaign(
+    const ScenarioSpec& spec, const obs::Instruments& instruments = {});
 
 // Greedy shrink: repeatedly tries dropping attacks, shortening the mission,
 // zeroing magnitude components and simplifying windows, keeping any

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -162,63 +161,32 @@ void append_outcome(std::ostream& os, const JobOutcome& outcome) {
 
 std::vector<JobOutcome> read_checkpoint_file(const std::string& path,
                                              bool repair) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return {};
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  const std::string text = buffer.str();
-
   std::vector<JobOutcome> outcomes;
-  std::size_t line_no = 0;
-  std::size_t offset = 0;       // start of the current line
-  std::size_t good_end = 0;     // byte length of the valid prefix
   bool saw_header = false;
-  bool torn = false;
-  while (offset < text.size()) {
-    const std::size_t newline = text.find('\n', offset);
-    const bool complete = newline != std::string::npos;
-    const std::string line =
-        text.substr(offset, complete ? newline - offset : std::string::npos);
-    ++line_no;
-    // A line without a terminating newline is by definition mid-write.
-    bool ok = complete && !line.empty();
-    if (ok) {
-      try {
+  json::read_jsonl_tail_tolerant(
+      path,
+      [&](const std::string& line, std::size_t line_no) {
         if (!saw_header) {
           const std::string context =
               "checkpoint line " + std::to_string(line_no);
           json::Fields f(json::parse_object_line(line, context), context);
           if (f.string("event") != "checkpoint" ||
-              f.string("name") != kCheckpointName || f.integer("version") != 1) {
+              f.string("name") != kCheckpointName ||
+              f.integer("version") != 1) {
             throw ManifestError(context + ": not a checkpoint header");
           }
           saw_header = true;
         } else {
           outcomes.push_back(parse_outcome(line, line_no));
         }
-      } catch (const std::exception& e) {
-        ok = false;
+      },
+      repair,
+      [&](const std::exception& e) {
         // Corruption anywhere but the final line is not a torn tail — the
         // file was damaged after the fact, and silently dropping completed
         // work would undercount the campaign.
-        const bool final_line = !complete || newline + 1 >= text.size();
-        if (!final_line) {
-          throw ManifestError(path + ": corrupt checkpoint (" + e.what() +
-                              ")");
-        }
-      }
-    }
-    if (!ok) {
-      torn = true;
-      break;
-    }
-    good_end = newline + 1;
-    offset = newline + 1;
-  }
-
-  if (torn && repair) {
-    fs::resize_file(path, good_end);
-  }
+        throw ManifestError(path + ": corrupt checkpoint (" + e.what() + ")");
+      });
   return outcomes;
 }
 

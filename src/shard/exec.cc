@@ -51,6 +51,7 @@ JobOutcome execute_mission_job(const ManifestJob& job,
 
   sim::WorkflowConfig workflow;
   workflow.num_threads = 1;  // process-level parallelism only
+  workflow.instruments = config.instruments;
   if (config.record_bundles && !config.run_dir.empty()) {
     workflow.recorder.enabled = true;
     workflow.record_out = config.run_dir + "/bundles/";
@@ -119,7 +120,7 @@ JobOutcome execute_fuzz_job(const ManifestJob& job, const ExecConfig& config,
   out.name = spec.name;
 
   const std::optional<scenario::InvariantViolation> violation =
-      scenario::check_campaign(spec);
+      scenario::check_campaign(spec, config.instruments);
   if (!violation) {
     out.status = "ok";
     return out;

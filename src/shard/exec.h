@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "obs/obs.h"
 #include "shard/checkpoint.h"
 #include "shard/manifest.h"
 
@@ -20,6 +21,10 @@ struct ExecConfig {
   bool record_bundles = false;
   // Fuzz jobs: shrink budget per finding (scenario::FuzzConfig semantics).
   std::size_t shrink_budget = 120;
+  // Observability plumbed into every job this worker executes (telemetry
+  // latency histograms). Instrumentation records timings only — it can
+  // never alter the JobOutcome, which keeps merged≡serial byte-identity.
+  obs::Instruments instruments;
 };
 
 // Never throws for job-level problems: a crashing mission, an unknown

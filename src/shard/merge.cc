@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/jsonl.h"
+#include "obs/metrics.h"
 #include "stats/metrics.h"
 
 namespace roboads::shard {
@@ -187,6 +188,45 @@ MergedReport merge_outcomes(const Manifest& manifest,
     write_ci_line(os, "fnr", fnrs);
   }
   if (!delays.empty()) write_ci_line(os, "detection_delay", delays);
+
+  // Telemetry: per-group detection-delay distributions as mergeable
+  // histograms (obs::HistogramSnapshot over the shared delay bounds). A
+  // deterministic function of the outcomes alone — no wall-clock, no worker
+  // identity — so the merged report stays byte-identical to the serial
+  // reference with telemetry enabled.
+  for (const GroupStats& g : groups) {
+    if (g.delay_seconds.empty()) continue;
+    obs::HistogramSnapshot hist =
+        obs::HistogramSnapshot::with_bounds(obs::default_delay_bounds_s());
+    for (const double d : g.delay_seconds) hist.record(d);
+    os << '{';
+    json::write_field_key(os, "event", /*first=*/true);
+    json::write_escaped(os, "telemetry");
+    json::write_field_key(os, "metric");
+    json::write_escaped(os, "detection_delay_s");
+    json::write_field_key(os, "group");
+    json::write_escaped(os, g.name);
+    json::write_field_key(os, "count");
+    json::write_number(os, static_cast<double>(hist.count));
+    json::write_field_key(os, "mean");
+    json::write_number(os, hist.mean());
+    json::write_field_key(os, "stddev");
+    json::write_number(os, hist.stddev());
+    json::write_field_key(os, "ci95");
+    json::write_doubles(os, {hist.mean() - hist.ci95_half_width(),
+                             hist.mean() + hist.ci95_half_width()});
+    json::write_field_key(os, "p50");
+    json::write_number(os, hist.quantile(0.50));
+    json::write_field_key(os, "p90");
+    json::write_number(os, hist.quantile(0.90));
+    json::write_field_key(os, "p99");
+    json::write_number(os, hist.quantile(0.99));
+    json::write_field_key(os, "max");
+    json::write_number(os, hist.max);
+    json::write_field_key(os, "hist");
+    obs::write_histogram(os, hist);
+    os << "}\n";
+  }
 
   // Per-group lines, in manifest first-appearance order.
   for (const GroupStats& g : groups) {

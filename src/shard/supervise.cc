@@ -15,6 +15,7 @@
 #include "common/check.h"
 #include "shard/checkpoint.h"
 #include "shard/heartbeat.h"
+#include "shard/status.h"
 
 namespace roboads::shard {
 namespace {
@@ -62,10 +63,64 @@ struct Slot {
   double restart_at = 0.0;    // monotonic time gate for the next launch
   double launched_at = 0.0;   // heartbeat fallback until the first beat
   bool killing = false;       // watchdog SIGKILL sent, waiting for the reap
+  bool grace_granted = false;  // slow-job grace used for this launch
+  double grace_deadline = 0.0;
   bool done = false;
   bool lost = false;
 
   bool active() const { return !done && !lost; }
+};
+
+// Publishes status.json on a throttle. Best-effort by design: a sibling
+// worker tearing a telemetry tail mid-read must never take down the
+// supervision loop, so every build failure is swallowed and the previous
+// snapshot (atomically published) stays in place.
+class StatusWriter {
+ public:
+  StatusWriter(const Manifest& manifest, const std::string& dir,
+               double interval_seconds)
+      : manifest_(manifest),
+        dir_(dir),
+        interval_seconds_(interval_seconds),
+        started_(monotonic_now()) {}
+
+  void maybe_write(const SuperviseResult& result) {
+    if (interval_seconds_ <= 0.0) return;
+    const double now = monotonic_now();
+    if (now - last_write_ < interval_seconds_) return;
+    write(result, now);
+  }
+
+  // The final snapshot of a run (or wave) must not be throttled away.
+  void force_write(const SuperviseResult& result) {
+    if (interval_seconds_ <= 0.0) return;
+    write(result, monotonic_now());
+  }
+
+ private:
+  void write(const SuperviseResult& result, double now) {
+    SupervisionCounters counters;
+    counters.launches = result.launches;
+    counters.crashes = result.crashes;
+    counters.hangs = result.hangs;
+    counters.lost_shards = result.lost_shards;
+    counters.salvage_workers = result.salvage_workers;
+    counters.slow_job_grants = result.slow_job_grants;
+    try {
+      write_status_file(
+          status_path(dir_),
+          build_status(manifest_, dir_, counters, now - started_));
+    } catch (const std::exception&) {
+      // Keep supervising; the next interval retries.
+    }
+    last_write_ = now;
+  }
+
+  const Manifest& manifest_;
+  const std::string dir_;
+  const double interval_seconds_;
+  const double started_;
+  double last_write_ = -1e18;
 };
 
 std::set<std::string> completed_ids(const std::string& dir) {
@@ -90,7 +145,10 @@ void run_wave(std::vector<Slot>& slots, const Manifest& manifest,
               const std::string& dir, const SupervisorConfig& config,
               const WorkerLauncher& launcher, SuperviseResult& result,
               std::size_t& chaos_kills_left, std::size_t& chaos_stops_left,
-              std::mt19937_64& chaos_rng) {
+              std::mt19937_64& chaos_rng, StatusWriter& status) {
+  const double grace_seconds = config.slow_job_grace_seconds < 0.0
+                                   ? config.heartbeat_timeout_seconds
+                                   : config.slow_job_grace_seconds;
   const std::size_t total_jobs = manifest.jobs.size();
   const std::size_t chaos_total = chaos_kills_left + chaos_stops_left;
   // Chaos events fire as completion crosses evenly spaced progress marks, so
@@ -121,6 +179,8 @@ void run_wave(std::vector<Slot>& slots, const Manifest& manifest,
             launcher(slot.label, pending_of(slot, completed));
         slot.pid = spawn(command);
         slot.launched_at = now;
+        slot.grace_granted = false;
+        slot.grace_deadline = 0.0;
         ++slot.launches;
         ++result.launches;
         continue;
@@ -134,9 +194,29 @@ void run_wave(std::vector<Slot>& slots, const Manifest& manifest,
           age.has_value() ? std::min(*age, now - slot.launched_at)
                           : now - slot.launched_at;
       if (silent > config.heartbeat_timeout_seconds && !slot.killing) {
-        kill(slot.pid, SIGKILL);
-        slot.killing = true;
-        ++result.hangs;
+        // Slow-job grace: a worker whose structured heartbeat shows jobs
+        // completed since this launch is plausibly deep in one long job,
+        // not hung — grant one extra window (per launch) before the
+        // SIGKILL. Workers that never wrote a structured beat (or made no
+        // progress) are reclaimed immediately, as before.
+        bool reclaim = true;
+        if (slot.grace_granted) {
+          reclaim = now >= slot.grace_deadline;
+        } else if (grace_seconds > 0.0) {
+          const std::optional<Heartbeat> beat =
+              read_heartbeat(heartbeat_path(dir, slot.label));
+          if (beat.has_value() && beat->jobs_done > 0) {
+            slot.grace_granted = true;
+            slot.grace_deadline = now + grace_seconds;
+            ++result.slow_job_grants;
+            reclaim = false;
+          }
+        }
+        if (reclaim) {
+          kill(slot.pid, SIGKILL);
+          slot.killing = true;
+          ++result.hangs;
+        }
       }
 
       int status = 0;
@@ -178,6 +258,7 @@ void run_wave(std::vector<Slot>& slots, const Manifest& manifest,
       }
     }
 
+    status.maybe_write(result);
     sleep_seconds(config.poll_interval_seconds);
   }
 }
@@ -198,6 +279,7 @@ SuperviseResult supervise(const Manifest& manifest, const std::string& dir,
                           const SupervisorConfig& config,
                           const WorkerLauncher& launcher) {
   SuperviseResult result;
+  StatusWriter status(manifest, dir, config.status_interval_seconds);
   std::mt19937_64 chaos_rng(config.chaos_seed);
   std::size_t chaos_kills_left = config.chaos_kills;
   std::size_t chaos_stops_left = config.chaos_stops;
@@ -216,7 +298,7 @@ SuperviseResult supervise(const Manifest& manifest, const std::string& dir,
                              [](const Slot& s) { return s.job_ids.empty(); }),
               slots.end());
   run_wave(slots, manifest, dir, config, launcher, result, chaos_kills_left,
-           chaos_stops_left, chaos_rng);
+           chaos_stops_left, chaos_rng, status);
 
   // Salvage waves: requeue whatever lost shards stranded onto fresh
   // workers — the pool shrinks to however many are still viable instead of
@@ -239,7 +321,7 @@ SuperviseResult supervise(const Manifest& manifest, const std::string& dir,
     }
     result.salvage_workers += workers;
     run_wave(salvage, manifest, dir, config, launcher, result,
-             chaos_kills_left, chaos_stops_left, chaos_rng);
+             chaos_kills_left, chaos_stops_left, chaos_rng, status);
   }
 
   const std::set<std::string> completed = completed_ids(dir);
@@ -247,6 +329,7 @@ SuperviseResult supervise(const Manifest& manifest, const std::string& dir,
     if (completed.count(job.id) == 0) result.missing_ids.push_back(job.id);
   }
   result.complete = result.missing_ids.empty();
+  status.force_write(result);
   return result;
 }
 

@@ -42,6 +42,17 @@ struct SupervisorConfig {
   // coverage immediately).
   std::size_t salvage_waves = 1;
 
+  // Slow-job grace: when a worker times out but its structured heartbeat
+  // shows it completed jobs since launch, the watchdog assumes "slow job"
+  // rather than "hung job" and grants one extra window of this many seconds
+  // (once per launch) before SIGKILLing. < 0 means "same as
+  // heartbeat_timeout_seconds"; 0 disables the grace entirely.
+  double slow_job_grace_seconds = -1.0;
+
+  // How often the supervisor publishes the run's status.json snapshot
+  // (shard/status.h) for `roboads_shard watch`. <= 0 disables publication.
+  double status_interval_seconds = 1.0;
+
   // Chaos injection: SIGKILL / SIGSTOP this many randomly chosen running
   // workers, one each at staggered points of the campaign. A stopped worker
   // keeps its process slot but stops heartbeating, so it exercises the
@@ -69,6 +80,7 @@ struct SuperviseResult {
   std::size_t hangs = 0;             // workers the watchdog had to SIGKILL
   std::size_t lost_shards = 0;       // slots that exhausted their retries
   std::size_t salvage_workers = 0;   // extra workers spawned by requeue waves
+  std::size_t slow_job_grants = 0;   // watchdog grace periods granted
   std::vector<std::string> missing_ids;  // jobs with no outcome (partial)
 };
 

@@ -5,9 +5,11 @@
 #include <iostream>
 #include <set>
 
+#include "obs/metrics.h"
 #include "shard/checkpoint.h"
 #include "shard/heartbeat.h"
 #include "shard/manifest.h"
+#include "shard/telemetry.h"
 
 namespace roboads::shard {
 namespace {
@@ -67,14 +69,49 @@ int run_worker(const WorkerOptions& options) {
     exec.record_bundles = options.record_bundles;
     exec.shrink_budget = options.shrink_budget;
 
-    const std::string beat = heartbeat_path(options.dir, options.label);
-    write_heartbeat(beat, options.label);
+    // Telemetry plane: a worker-local metrics registry feeds the periodic
+    // stream with detector-step latency histograms. Coarse timers keep the
+    // always-on cost to the engine.step_ns/decision.evaluate_ns pair
+    // (bench/obs_overhead gates it); the full per-stage NUISE timers remain
+    // an explicit opt-in for report runs.
+    obs::MetricsRegistry registry;
+    const bool telemetry_on = options.telemetry_interval_seconds > 0.0;
+    if (telemetry_on) {
+      exec.instruments.metrics = &registry;
+      exec.instruments.coarse_timers = true;
+    }
+    TelemetryStream telemetry(options.dir, options.label,
+                              options.telemetry_interval_seconds,
+                              telemetry_on ? &registry : nullptr);
+
+    std::uint64_t pending = 0;
+    for (const ManifestJob* job : assigned) {
+      if (done.count(job->id) == 0) ++pending;
+    }
+    telemetry.set_jobs_assigned(pending);
+
+    // The structured heartbeat lets the watchdog distinguish "hung job"
+    // (no progress this launch) from "slow job" (progress, then quiet).
+    Heartbeat beat;
+    beat.label = options.label;
+    const std::string beat_path = heartbeat_path(options.dir, options.label);
+    write_heartbeat(beat_path, beat);
+    if (telemetry.enabled()) telemetry.flush();  // start-of-run mark
     for (const ManifestJob* job : assigned) {
       if (done.count(job->id) != 0) continue;
-      write_heartbeat(beat, options.label);
-      append_outcome(os, execute_job(*job, exec));
+      beat.current_job = job->id;
+      write_heartbeat(beat_path, beat);
+      const JobOutcome outcome = execute_job(*job, exec);
+      append_outcome(os, outcome);
+      telemetry.job_finished(outcome);
+      ++beat.jobs_done;
+      beat.last_job = job->id;
+      beat.last_job_unix_time = unix_now_seconds();
+      beat.current_job.clear();
+      write_heartbeat(beat_path, beat);
     }
-    write_heartbeat(beat, options.label);
+    if (telemetry.enabled()) telemetry.flush();  // end-of-run mark
+    write_heartbeat(beat_path, beat);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "worker " << options.label << ": " << e.what() << "\n";
@@ -98,6 +135,8 @@ int worker_main(const std::vector<std::string>& args) {
       options.job_ids.push_back(value);
     } else if (flag_value(arg, "--shrink-budget", &value)) {
       options.shrink_budget = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag_value(arg, "--telemetry-interval", &value)) {
+      options.telemetry_interval_seconds = std::stod(value);
     } else if (arg == "--bundles") {
       options.record_bundles = true;
     } else {
@@ -115,16 +154,19 @@ int worker_main(const std::vector<std::string>& args) {
 
 WorkerLauncher self_exec_launcher(const std::string& manifest_path,
                                   const std::string& dir, bool record_bundles,
-                                  std::size_t shrink_budget) {
+                                  std::size_t shrink_budget,
+                                  double telemetry_interval_seconds) {
   const std::string exe = fs::read_symlink("/proc/self/exe").string();
-  return [exe, manifest_path, dir, record_bundles, shrink_budget](
-             const std::string& label,
-             const std::vector<std::string>& job_ids) {
+  return [exe, manifest_path, dir, record_bundles, shrink_budget,
+          telemetry_interval_seconds](const std::string& label,
+                                      const std::vector<std::string>& job_ids) {
     WorkerCommand command;
     command.args = {exe, "--shard-worker", "--manifest=" + manifest_path,
                     "--dir=" + dir, "--label=" + label};
     if (record_bundles) command.args.push_back("--bundles");
     command.args.push_back("--shrink-budget=" + std::to_string(shrink_budget));
+    command.args.push_back("--telemetry-interval=" +
+                           std::to_string(telemetry_interval_seconds));
     for (const std::string& id : job_ids) {
       command.args.push_back("--job=" + id);
     }

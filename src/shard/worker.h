@@ -32,6 +32,9 @@ struct WorkerOptions {
   int shard = -1;
   bool record_bundles = false;
   std::size_t shrink_budget = 120;
+  // Seconds between telemetry records (shard/telemetry.h); <= 0 disables
+  // the telemetry stream and the per-job latency instrumentation entirely.
+  double telemetry_interval_seconds = 5.0;
 };
 
 // Runs the worker loop to completion. Returns a process exit code: 0 when
@@ -41,8 +44,8 @@ struct WorkerOptions {
 int run_worker(const WorkerOptions& options);
 
 // Parses `--manifest= --dir= --label= [--shard=N] [--job=ID ...]
-// [--bundles] [--shrink-budget=N]` and calls run_worker. `args` excludes the
-// `--shard-worker` dispatch token.
+// [--bundles] [--shrink-budget=N] [--telemetry-interval=S]` and calls
+// run_worker. `args` excludes the `--shard-worker` dispatch token.
 int worker_main(const std::vector<std::string>& args);
 
 // A WorkerLauncher that re-execs the current binary (/proc/self/exe) with
@@ -50,6 +53,7 @@ int worker_main(const std::vector<std::string>& args);
 WorkerLauncher self_exec_launcher(const std::string& manifest_path,
                                   const std::string& dir,
                                   bool record_bundles,
-                                  std::size_t shrink_budget = 120);
+                                  std::size_t shrink_budget = 120,
+                                  double telemetry_interval_seconds = 5.0);
 
 }  // namespace roboads::shard

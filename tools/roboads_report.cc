@@ -1,0 +1,34 @@
+// Renders a saved metrics JSONL file (the --metrics-out format written by
+// obs::MetricsRegistry::write_jsonl) as the human-readable table that
+// obs::render_report produces for a live registry — so a CI artifact or a
+// colleague's run can be read without re-running anything.
+//
+//   roboads_report <metrics.jsonl>
+//
+// Exit status: 0 on success; 2 when the file is missing, empty, truncated
+// mid-write, or not a metrics JSONL — each with a message naming the file
+// and what is wrong with it, because a silent empty report in CI reads as
+// "all green" when the run actually never produced metrics.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || argv[1][0] == '\0' ||
+      std::string(argv[1]) == "--help") {
+    std::fprintf(stderr, "usage: roboads_report <metrics.jsonl>\n");
+    return 2;
+  }
+  try {
+    const std::vector<roboads::obs::MetricSample> samples =
+        roboads::obs::load_metrics_jsonl(argv[1]);
+    std::fputs(roboads::obs::render_report(samples).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "roboads_report: %s\n", e.what());
+    return 2;
+  }
+}

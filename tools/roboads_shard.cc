@@ -10,12 +10,16 @@
 //                            [--report=FILE] [--heartbeat-timeout=SECONDS]
 //                            [--max-retries=N] [--salvage-waves=N]
 //                            [--chaos-kills=N] [--chaos-stops=N]
-//                            [--chaos-seed=N]
+//                            [--chaos-seed=N] [--telemetry-interval=SECONDS]
+//                            [--status-interval=SECONDS]
+//                            [--slow-job-grace=SECONDS]
 //   roboads_shard serial     --manifest=FILE [--report=FILE] [--dir=DIR]
 //                            [--bundles]
 //   roboads_shard merge      --manifest=FILE --dir=DIR [--report=FILE]
 //   roboads_shard worker     --manifest=FILE --dir=DIR --label=L
 //                            [--shard=N] [--job=ID]... [--bundles]
+//   roboads_shard watch      --dir=DIR [--manifest=FILE] [--once] [--json]
+//                            [--interval=SECONDS]
 //
 // `run` spawns one supervised worker process per manifest shard (re-execing
 // this binary), restarts crashed workers with backoff, SIGKILLs hung ones on
@@ -25,20 +29,31 @@
 // --chaos-* flags self-inject worker kills/hangs for testing; results must
 // not change (./ci.sh shard-smoke asserts this against `serial`).
 //
+// `watch` is the live monitor ("roboads_top"): it renders the supervisor's
+// status.json snapshot in a refresh loop (progress bar, per-worker rows,
+// fleet detector-step latency quantiles). With --manifest it recomputes the
+// status from the run directory's checkpoints/heartbeats/telemetry instead,
+// which also works after the supervisor died. --once prints a single frame
+// and exits; --json emits the raw status line for scripts and CI.
+//
 // Exit status: 0 = complete, all ok; 1 = complete with failed jobs or fuzz
 // findings; 2 = usage/setup error; 3 = partial coverage (lost shards
 // exhausted their retries and salvage waves).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "shard/checkpoint.h"
 #include "shard/exec.h"
 #include "shard/manifest.h"
 #include "shard/merge.h"
+#include "shard/status.h"
 #include "shard/supervise.h"
 #include "shard/worker.h"
 
@@ -51,8 +66,8 @@ using namespace roboads::shard;
   std::fprintf(stderr, "roboads_shard: %s\n", message.c_str());
   std::fprintf(stderr,
                "usage: roboads_shard <gen-table2|gen-fuzz|run|serial|merge|"
-               "worker> [flags]\n(see tools/roboads_shard.cc for the full "
-               "flag list)\n");
+               "watch|worker> [flags]\n(see tools/roboads_shard.cc for the "
+               "full flag list)\n");
   std::exit(2);
 }
 
@@ -174,6 +189,7 @@ int cmd_gen_fuzz(const std::vector<std::string>& args) {
 int cmd_run(const std::vector<std::string>& args) {
   std::string manifest_path, dir, report_path;
   bool resume = false, bundles = false;
+  double telemetry_interval = 5.0;
   SupervisorConfig config;
   for (const std::string& arg : args) {
     std::string value;
@@ -185,6 +201,13 @@ int cmd_run(const std::vector<std::string>& args) {
     else if (flag_value(arg, "--heartbeat-timeout", &value))
       config.heartbeat_timeout_seconds =
           parse_fraction("--heartbeat-timeout", value);
+    else if (flag_value(arg, "--telemetry-interval", &value))
+      telemetry_interval = parse_fraction("--telemetry-interval", value);
+    else if (flag_value(arg, "--status-interval", &value))
+      config.status_interval_seconds =
+          parse_fraction("--status-interval", value);
+    else if (flag_value(arg, "--slow-job-grace", &value))
+      config.slow_job_grace_seconds = parse_fraction("--slow-job-grace", value);
     else if (flag_value(arg, "--max-retries", &value))
       config.retry.max_retries = parse_count("--max-retries", value, true);
     else if (flag_value(arg, "--salvage-waves", &value))
@@ -215,13 +238,16 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   fs::create_directories(dir);
 
-  const SuperviseResult supervised = supervise(
-      manifest, dir, config, self_exec_launcher(manifest_path, dir, bundles));
+  const SuperviseResult supervised =
+      supervise(manifest, dir, config,
+                self_exec_launcher(manifest_path, dir, bundles,
+                                   /*shrink_budget=*/120, telemetry_interval));
   std::printf(
       "supervision: %zu launches, %zu crashes, %zu hangs, %zu lost shards, "
-      "%zu salvage workers\n",
+      "%zu salvage workers, %zu slow-job grants\n",
       supervised.launches, supervised.crashes, supervised.hangs,
-      supervised.lost_shards, supervised.salvage_workers);
+      supervised.lost_shards, supervised.salvage_workers,
+      supervised.slow_job_grants);
 
   const MergedReport report = merge_run(manifest, dir);
   if (report_path.empty()) report_path = dir + "/report.jsonl";
@@ -269,6 +295,52 @@ int cmd_serial(const std::vector<std::string>& args) {
   return report_exit_code(report.stats);
 }
 
+int cmd_watch(const std::vector<std::string>& args) {
+  std::string dir, manifest_path;
+  bool once = false, as_json = false;
+  double interval = 1.0;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (flag_value(arg, "--dir", &value)) dir = value;
+    else if (flag_value(arg, "--manifest", &value)) manifest_path = value;
+    else if (arg == "--once") once = true;
+    else if (arg == "--json") as_json = true;
+    else if (flag_value(arg, "--interval", &value))
+      interval = parse_fraction("--interval", value);
+    else usage_error("watch: unknown argument \"" + arg + "\"");
+  }
+  if (dir.empty()) usage_error("watch: --dir is required");
+  if (as_json && !once) {
+    usage_error("watch: --json implies a single frame; pass --once too");
+  }
+  if (interval <= 0.0) interval = 1.0;
+
+  // With a manifest the status is recomputed from the run directory's own
+  // files (works mid-run, after a dead supervisor, or in CI); without one
+  // it is read from the supervisor's atomically published snapshot.
+  std::optional<Manifest> manifest;
+  if (!manifest_path.empty()) manifest = read_manifest_file(manifest_path);
+
+  while (true) {
+    RunStatus status;
+    if (manifest.has_value()) {
+      status = build_status(*manifest, dir);
+    } else {
+      status = read_status_file(status_path(dir));
+    }
+    if (as_json) {
+      std::printf("%s\n", serialize_status(status).c_str());
+    } else {
+      if (!once) std::printf("\033[H\033[2J");  // clear the terminal frame
+      std::fputs(render_status(status).c_str(), stdout);
+    }
+    std::fflush(stdout);
+    if (once || status.complete) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
+
 int cmd_merge(const std::vector<std::string>& args) {
   std::string manifest_path, dir, report_path;
   for (const std::string& arg : args) {
@@ -307,6 +379,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "serial") return cmd_serial(args);
     if (command == "merge") return cmd_merge(args);
+    if (command == "watch") return cmd_watch(args);
     if (command == "worker") return worker_main(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "roboads_shard %s: %s\n", command.c_str(), e.what());
