@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Reduces google-benchmark JSON output to the compact BENCH_PERF.json map.
 
-Usage: bench_summary.py <benchmark_json_in> <summary_json_out>
+Usage: bench_summary.py <benchmark_json_in>... <summary_json_out>
            [--build-type=TYPE] [--cxx-flags=FLAGS]
            [--require-build-type=TYPE]
            [--baseline=FILE] [--max-regress=FRACTION]
 
+All positional arguments but the last are benchmark JSON inputs (perf_nuise,
+fleet_throughput, ...); their benchmark lists merge into one summary, so one
+BENCH_PERF.json gates every runtime benchmark. Duplicate benchmark names
+across inputs are an error — each binary must own its namespace.
+
 The summary holds one entry per benchmark: real time in nanoseconds, plus the
-iteration count the number was averaged over. Counters (modes, threads) are
-carried through when present so the engine fan-out rows stay self-describing.
+iteration count the number was averaged over. Counters (modes, threads, and
+the fleet throughput/latency figures) are carried through when present so
+the rows stay self-describing.
 
 --build-type / --cxx-flags record the *project's* compiler settings (from the
 bench tree's CMakeCache) in the summary context — google-benchmark's own
@@ -64,7 +70,7 @@ def main() -> int:
             return 2
         else:
             positional.append(arg)
-    if len(positional) != 2:
+    if len(positional) < 2:
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -78,31 +84,47 @@ def main() -> int:
         )
         return 1
 
-    with open(positional[0]) as f:
-        raw = json.load(f)
+    inputs = positional[:-1]
+    raws = []
+    for path in inputs:
+        with open(path) as f:
+            raws.append(json.load(f))
 
+    # Context comes from the first input; every input ran in the same bench
+    # tree (ci.sh run_bench), so the machine facts agree.
+    first_ctx = raws[0].get("context", {})
     summary = {
         "context": {
-            "date": raw.get("context", {}).get("date", ""),
-            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+            "date": first_ctx.get("date", ""),
+            "num_cpus": first_ctx.get("num_cpus", 0),
             "build_type": build_type,
             "cxx_flags": cxx_flags,
-            "library_build_type": raw.get("context", {}).get(
-                "library_build_type", ""
-            ),
+            "library_build_type": first_ctx.get("library_build_type", ""),
         },
         "benchmarks": {},
     }
-    for b in raw.get("benchmarks", []):
-        entry = {
-            "real_time_ns": round(b["real_time"], 1),
-            "cpu_time_ns": round(b["cpu_time"], 1),
-            "iterations": b["iterations"],
-        }
-        for counter in ("modes", "threads", "missions"):
-            if counter in b:
-                entry[counter] = b[counter]
-        summary["benchmarks"][b["name"]] = entry
+    counters = (
+        "modes", "threads", "missions",
+        # fleet_throughput (docs/FLEET.md)
+        "robots", "shards", "hz", "steps", "steps_per_s", "dropped_packets",
+        "p50_ingest_to_step_ns", "p99_ingest_to_step_ns",
+        "p50_ingest_to_alarm_ns", "p99_ingest_to_alarm_ns",
+    )
+    for path, raw in zip(inputs, raws):
+        for b in raw.get("benchmarks", []):
+            if b["name"] in summary["benchmarks"]:
+                print(f"bench_summary: duplicate benchmark {b['name']} "
+                      f"in {path}", file=sys.stderr)
+                return 2
+            entry = {
+                "real_time_ns": round(b["real_time"], 1),
+                "cpu_time_ns": round(b["cpu_time"], 1),
+                "iterations": b["iterations"],
+            }
+            for counter in counters:
+                if counter in b:
+                    entry[counter] = b[counter]
+            summary["benchmarks"][b["name"]] = entry
 
     # Gate against the baseline before touching the output file: summary and
     # baseline are usually the same path, and a failed gate must leave the
@@ -157,11 +179,11 @@ def main() -> int:
                     f"bench_summary: {len(summary['benchmarks'])} benchmarks "
                     f"within {max_regress:.0%} of {baseline_path}")
 
-    with open(positional[1], "w") as f:
+    with open(positional[-1], "w") as f:
         json.dump(summary, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"bench_summary: wrote {len(summary['benchmarks'])} entries "
-          f"to {positional[1]}")
+          f"to {positional[-1]}")
     return 0
 
 

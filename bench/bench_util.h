@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "eval/batch.h"
 #include "eval/khepera.h"
 #include "eval/mission.h"
@@ -63,16 +64,13 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
-      const char* value = arg + 10;
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(value, &end, 10);
-      if (*value == '\0' || end == value || *end != '\0' ||
-          !std::isdigit(static_cast<unsigned char>(*value))) {
+      const auto parsed = common::parse_u64(arg + 10);
+      if (!parsed) {
         bench_usage_error(argv[0], std::string("--threads expects a ") +
-                                       "non-negative integer, got \"" + value +
-                                       "\"");
+                                       "non-negative integer, got \"" +
+                                       (arg + 10) + "\"");
       }
-      args.workflow.num_threads = static_cast<std::size_t>(parsed);
+      args.workflow.num_threads = static_cast<std::size_t>(*parsed);
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       const std::string path = arg + 12;
       if (path.empty()) {
@@ -99,17 +97,14 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.obs.record = true;
       if (prefix != "-") args.obs.record_out = prefix;
     } else if (std::strncmp(arg, "--record-window=", 16) == 0) {
-      const char* value = arg + 16;
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(value, &end, 10);
-      if (*value == '\0' || end == value || *end != '\0' ||
-          !std::isdigit(static_cast<unsigned char>(*value)) || parsed == 0) {
+      const auto parsed = common::parse_u64(arg + 16);
+      if (!parsed || *parsed == 0) {
         bench_usage_error(argv[0], std::string("--record-window expects a ") +
-                                       "positive integer, got \"" + value +
-                                       "\"");
+                                       "positive integer, got \"" +
+                                       (arg + 16) + "\"");
       }
       args.obs.record = true;
-      args.obs.record_window = static_cast<std::size_t>(parsed);
+      args.obs.record_window = static_cast<std::size_t>(*parsed);
     } else {
       bench_usage_error(argv[0],
                         std::string("unknown argument \"") + arg + "\"");

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/parse.h"
 #include "shard/checkpoint.h"
 #include "shard/manifest.h"
 #include "shard/merge.h"
@@ -161,8 +162,21 @@ int run_sharded(const std::vector<std::uint64_t>& seeds,
   std::map<std::string, Replication> by_group;
   for (const shard::JobOutcome& o :
        shard::load_run_outcomes(args.shard_dir)) {
+    // Group names come from a merged report on disk; a stray non-"seed-"
+    // group (hand-edited run dir, mixed manifests) must be a diagnostic,
+    // not an uncaught std::invalid_argument out of std::stoull.
+    const std::string prefix = "seed-";
+    std::optional<unsigned long long> seed;
+    if (o.group.rfind(prefix, 0) == 0) {
+      seed = common::parse_u64(o.group.substr(prefix.size()));
+    }
+    if (!seed) {
+      throw std::runtime_error("merged report contains job group \"" +
+                               o.group +
+                               "\" which is not of the form seed-<N>");
+    }
     Replication& r = by_group[o.group];
-    r.seed = std::stoull(o.group.substr(std::string("seed-").size()));
+    r.seed = *seed;
     if (o.status != "ok") {
       ++r.failed;
       continue;
@@ -209,12 +223,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seeds=", 0) == 0) {
-      robustness.seeds = std::stoul(arg.substr(8));
-      if (robustness.seeds == 0) {
-        roboads::bench::bench_usage_error(argv[0], "--seeds must be positive");
+      const auto seeds = roboads::common::parse_u64(arg.substr(8));
+      if (!seeds || *seeds == 0) {
+        roboads::bench::bench_usage_error(
+            argv[0], "--seeds expects a positive integer, got \"" +
+                         arg.substr(8) + "\"");
       }
+      robustness.seeds = static_cast<std::size_t>(*seeds);
     } else if (arg.rfind("--workers=", 0) == 0) {
-      robustness.workers = std::stoul(arg.substr(10));
+      const auto workers = roboads::common::parse_u64(arg.substr(10));
+      if (!workers) {
+        roboads::bench::bench_usage_error(
+            argv[0], "--workers expects a non-negative integer, got \"" +
+                         arg.substr(10) + "\"");
+      }
+      robustness.workers = static_cast<std::size_t>(*workers);
     } else if (arg.rfind("--shard-dir=", 0) == 0) {
       robustness.shard_dir = arg.substr(12);
     } else if (arg == "--resume") {

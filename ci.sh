@@ -27,6 +27,9 @@
 #                      # `roboads_shard watch --once --json` must agree with
 #                      # checkpoint-derived truth, and roboads_report must
 #                      # fail loudly on missing/truncated metrics files
+#   ./ci.sh fleet-smoke # ~10 s mini-fleet through the sharded detection
+#                      # service; per-robot reports must be bit-identical
+#                      # to the serial mission runs (roboads_fleet --parity)
 #
 # JOBS=<n> overrides the parallelism (default: nproc). FUZZ_SEED=<n> varies
 # the fuzz-smoke campaign seed (default 1; CI can rotate it per run).
@@ -92,7 +95,7 @@ run_obs_overhead() {
 run_bench() {
   local dir="build-bench"
   cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$dir" -j "$JOBS" --target perf_nuise
+  cmake --build "$dir" -j "$JOBS" --target perf_nuise fleet_throughput
   local build_type cxx_flags
   build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$dir/CMakeCache.txt")"
   cxx_flags="$(sed -n 's/^CMAKE_CXX_FLAGS_RELEASE:[^=]*=//p' "$dir/CMakeCache.txt")"
@@ -100,10 +103,30 @@ run_bench() {
     --benchmark_filter='BM_NuiseStepKhepera|BM_EngineStepKhepera|BM_EngineStepCompleteModeSet/(1|4)/real_time|BM_FullDetectorStepKhepera|BM_FullDetectorStepTamiya' \
     --benchmark_min_time=0.2 \
     --benchmark_format=json > "$dir/bench_perf_raw.json"
-  python3 bench/bench_summary.py "$dir/bench_perf_raw.json" BENCH_PERF.json \
+  # Fleet capacity + latency (docs/FLEET.md): ≥1000 sessions at 10 Hz on
+  # this box or the binary exits non-zero; the paced phase records honest
+  # p99 ingest→alarm latency into the same BENCH_PERF.json.
+  "$dir/bench/fleet_throughput" --robots=1000 --hz=10 \
+    --json-out="$dir/fleet_perf_raw.json"
+  python3 bench/bench_summary.py "$dir/bench_perf_raw.json" \
+    "$dir/fleet_perf_raw.json" BENCH_PERF.json \
     --build-type="$build_type" --cxx-flags="$cxx_flags" \
     --require-build-type=Release \
     --baseline=BENCH_PERF.json --max-regress=0.15
+}
+
+# Fleet-service smoke (docs/FLEET.md): a ~10 s mini-fleet — 32 robots
+# sharing 4 recorded scenario-8 missions, streamed through the sharded
+# service by concurrent producers with the pump live — whose per-robot
+# DetectionReports must be bit-identical to the serial mission runs
+# (roboads_fleet --parity exits non-zero on the first divergence).
+run_fleet_smoke() {
+  local dir="$1"
+  cmake -B "$dir" -S .
+  cmake --build "$dir" -j "$JOBS" --target roboads_fleet_tool
+  "$dir/tools/roboads_fleet" --robots=32 --scenario=8 --iterations=120 \
+    --missions=4 --parity
+  echo "fleet smoke: 32 streamed robots bit-identical to serial missions"
 }
 
 # Scenario-DSL coverage fuzz (docs/SCENARIOS.md): a time-boxed (~30 s)
@@ -247,6 +270,7 @@ case "$MODE" in
   fuzz-smoke) run_fuzz_smoke build ;;
   shard-smoke) run_shard_smoke build ;;
   watch-smoke) run_watch_smoke build ;;
+  fleet-smoke) run_fleet_smoke build ;;
   all)
     run_pass build
     run_obs_smoke build
@@ -256,10 +280,11 @@ case "$MODE" in
     run_fuzz_smoke build
     run_shard_smoke build
     run_watch_smoke build
+    run_fleet_smoke build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|watch-smoke|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|watch-smoke|fleet-smoke|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

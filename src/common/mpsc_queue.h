@@ -1,0 +1,139 @@
+// Lock-free bounded multi-producer queue for the fleet ingestion front.
+//
+// This is the classic Vyukov bounded MPMC ring: each cell carries an atomic
+// sequence number that encodes, relative to the head/tail tickets, whether
+// the cell is free, full, or in flight. Producers and consumers claim
+// tickets with a single CAS each and never spin on a lock, so an ingest
+// thread submitting packets can never be blocked by a slow detection shard
+// (docs/FLEET.md). Capacity is fixed at construction and rounded up to a
+// power of two so the cell index is a mask, not a modulo.
+//
+// Both ends are thread-safe (MPMC), which the fleet layer exploits for its
+// drop-oldest backpressure policy: a producer that finds the ring full pops
+// one element itself — counting the drop — and retries the push, so the
+// *newest* data always lands and the queue degrades by shedding the oldest
+// samples, exactly the semantics a real-time detector wants.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace roboads::common {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  // `capacity` is rounded up to the next power of two, minimum 2.
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Attempts to enqueue; returns false when the ring is full. Never blocks.
+  bool try_push(T value) { return try_push_ref(value); }
+
+  // Attempts to dequeue into `out`; returns false when empty. Never blocks.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Drop-oldest enqueue: always lands `value`, evicting the oldest queued
+  // element if the ring is full. Returns the number of elements dropped to
+  // make room (0 or more; >1 only under producer races). Never blocks.
+  std::size_t push_dropping_oldest(T value) {
+    std::size_t dropped = 0;
+    // try_push_ref moves from `value` only on success, so the retry after a
+    // full ring still holds the original element.
+    while (!try_push_ref(value)) {
+      T victim;
+      if (try_pop(victim)) {
+        ++dropped;
+      }
+      // If try_pop failed another consumer freed a slot already; retry.
+    }
+    return dropped;
+  }
+
+  // Approximate occupancy (racy; for metrics only).
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  // The real enqueue: moves from `value` only once a cell is claimed, so a
+  // "full" failure leaves the caller's element intact for a retry.
+  bool try_push_ref(T& value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 2;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer ticket
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer ticket
+};
+
+}  // namespace roboads::common

@@ -63,6 +63,10 @@ class RoboAds {
 
   const std::vector<Mode>& modes() const { return engine_.modes(); }
   const Vector& state_estimate() const { return engine_.state(); }
+  // Completed step() calls since construction/reset/restore — the streaming
+  // session façade (fleet/session.h) uses this to cross-check that a
+  // restored detector lines up with the stream position it migrated with.
+  std::size_t iteration() const { return iteration_; }
 
   // One control iteration: planned commands u_{k−1} and the full stacked
   // sensor readings z_k (monitor intake, Algorithm 1 lines 2-3). Sensors

@@ -1,0 +1,35 @@
+// Wire unit of the fleet ingestion front (docs/FLEET.md).
+//
+// A FleetPacket is exactly one robot's bus::Packet — the same
+// source/kind/iteration/payload shape the single-robot monitor consumes
+// (bus/packet.h) — addressed by a fleet-assigned robot id and stamped with
+// the ingest wall-clock so the serving layer can measure ingest-to-alarm
+// latency end to end. The ingestion queues carry these by value; payloads
+// are small (a handful of doubles, inline in Vector's SBO storage), so a
+// packet never allocates on the hot path for the bundled platforms.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "bus/packet.h"
+
+namespace roboads::fleet {
+
+struct FleetPacket {
+  std::uint64_t robot = 0;     // FleetService::add_robot id
+  bus::Packet packet;
+  // Steady-clock nanoseconds stamped by FleetService::submit (0 until then).
+  std::uint64_t ingest_ns = 0;
+};
+
+// Monotonic nanosecond clock shared by submit-side stamping and the
+// latency histograms, so ingest-to-step deltas are always same-clock.
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace roboads::fleet

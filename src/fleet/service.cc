@@ -1,0 +1,329 @@
+#include "fleet/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace roboads::fleet {
+namespace {
+
+std::size_t resolve_shards(std::size_t requested) {
+  return common::ThreadPool::resolve_thread_count(requested);
+}
+
+std::size_t pool_size_for(std::size_t shards) {
+  return std::max<std::size_t>(
+      1, std::min(shards, common::ThreadPool::resolve_thread_count(0)));
+}
+
+void brief_pause() {
+  std::this_thread::sleep_for(std::chrono::microseconds(100));
+}
+
+}  // namespace
+
+FleetService::ShardState::ShardState(const FleetConfig& config)
+    : queue(config.queue_capacity),
+      ingest_to_step(obs::default_latency_bounds_ns()),
+      ingest_to_alarm(obs::default_latency_bounds_ns()) {}
+
+FleetService::FleetService(FleetConfig config)
+    : config_(std::move(config)), pool_(pool_size_for(resolve_shards(config_.shards))) {
+  const std::size_t shards = resolve_shards(config_.shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<ShardState>(config_));
+  }
+  if (config_.metrics != nullptr) {
+    m_steps_ = &config_.metrics->counter("fleet.steps");
+    m_sensor_alarms_ = &config_.metrics->counter("fleet.sensor_alarms");
+    m_actuator_alarms_ = &config_.metrics->counter("fleet.actuator_alarms");
+    m_dropped_ = &config_.metrics->counter("fleet.dropped_packets");
+    m_ingest_to_step_ = &config_.metrics->histogram("fleet.ingest_to_step_ns");
+  }
+}
+
+FleetService::~FleetService() { stop(); }
+
+void FleetService::attach_sink(DetectorSession& session, std::uint64_t robot) {
+  session.set_report_sink([this, robot](const core::DetectionReport& report,
+                                        std::uint64_t frame_ingest_ns) {
+    ShardState& shard =
+        *shards_[routing_[robot].load(std::memory_order_relaxed)];
+    shard.steps.fetch_add(1, std::memory_order_relaxed);
+    if (m_steps_ != nullptr) m_steps_->increment();
+    const bool sensor_alarm = report.decision.sensor_alarm;
+    const bool actuator_alarm = report.decision.actuator_alarm;
+    if (sensor_alarm) {
+      shard.sensor_alarms.fetch_add(1, std::memory_order_relaxed);
+      if (m_sensor_alarms_ != nullptr) m_sensor_alarms_->increment();
+    }
+    if (actuator_alarm) {
+      shard.actuator_alarms.fetch_add(1, std::memory_order_relaxed);
+      if (m_actuator_alarms_ != nullptr) m_actuator_alarms_->increment();
+    }
+    if (report.quarantined_modes > 0) {
+      shard.quarantine_iterations.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (frame_ingest_ns > 0) {
+      const std::uint64_t now = steady_now_ns();
+      const double latency =
+          now > frame_ingest_ns ? static_cast<double>(now - frame_ingest_ns)
+                                : 0.0;
+      shard.ingest_to_step.record(latency);
+      if (m_ingest_to_step_ != nullptr) m_ingest_to_step_->record(latency);
+      if (sensor_alarm || actuator_alarm) {
+        shard.ingest_to_alarm.record(latency);
+      }
+    }
+    if (config_.on_report) config_.on_report(robot, report, frame_ingest_ns);
+  });
+}
+
+std::uint64_t FleetService::add_robot(std::shared_ptr<const SessionSpec> spec) {
+  ROBOADS_CHECK(!running_, "add robots before starting the pump");
+  ROBOADS_CHECK(spec != nullptr, "fleet robot needs a session spec");
+  const std::uint64_t robot = routing_.size();
+  const std::size_t shard = static_cast<std::size_t>(robot) % shards_.size();
+  auto session = std::make_unique<DetectorSession>(spec, config_.session);
+  attach_sink(*session, robot);
+  shards_[shard]->sessions.emplace(robot, std::move(session));
+  shards_[shard]->session_count.fetch_add(1, std::memory_order_relaxed);
+  routing_.emplace_back(static_cast<std::uint32_t>(shard));
+  specs_.push_back(std::move(spec));
+  return robot;
+}
+
+std::size_t FleetService::shard_of(std::uint64_t robot) const {
+  ROBOADS_CHECK(robot < routing_.size(), "unknown fleet robot id");
+  return routing_[robot].load(std::memory_order_relaxed);
+}
+
+void FleetService::submit(FleetPacket packet) {
+  if (packet.robot >= routing_.size()) {
+    unknown_robot_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  packet.ingest_ns = steady_now_ns();
+  ShardState& shard =
+      *shards_[routing_[packet.robot].load(std::memory_order_relaxed)];
+  const std::size_t dropped =
+      shard.queue.push_dropping_oldest(std::move(packet));
+  if (dropped > 0) {
+    shard.dropped.fetch_add(dropped, std::memory_order_relaxed);
+    if (m_dropped_ != nullptr) m_dropped_->increment(dropped);
+  }
+}
+
+std::size_t FleetService::drain_shard(std::size_t shard_index) {
+  ShardState& shard = *shards_[shard_index];
+  std::size_t processed = 0;
+  FleetPacket packet;
+  while (processed < config_.drain_batch && shard.queue.try_pop(packet)) {
+    ++processed;
+    const std::size_t owner =
+        routing_[packet.robot].load(std::memory_order_relaxed);
+    if (owner != shard_index) {
+      // The robot migrated while this packet sat in the old shard's ring:
+      // forward it. The next pass of the owning shard ingests it.
+      ShardState& target = *shards_[owner];
+      const std::size_t dropped =
+          target.queue.push_dropping_oldest(std::move(packet));
+      if (dropped > 0) {
+        target.dropped.fetch_add(dropped, std::memory_order_relaxed);
+      }
+      shard.forwarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const auto it = shard.sessions.find(packet.robot);
+    ROBOADS_CHECK(it != shard.sessions.end(),
+                  "routing names a shard without the session");
+    it->second->ingest(packet);
+  }
+  return processed;
+}
+
+std::size_t FleetService::pump_once() {
+  apply_migrations();
+  std::vector<std::size_t> processed(shards_.size(), 0);
+  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    processed[s] = drain_shard(s);
+  });
+  std::size_t total = 0;
+  for (std::size_t n : processed) total += n;
+  pass_seq_.fetch_add(1, std::memory_order_release);
+  return total;
+}
+
+void FleetService::apply_migrations() {
+  std::vector<MigrationRequest> requests;
+  {
+    std::lock_guard<std::mutex> lock(migrations_mu_);
+    requests.swap(migrations_);
+  }
+  std::vector<MigrationRequest> retry;
+  for (const MigrationRequest& req : requests) {
+    ROBOADS_CHECK(req.robot < routing_.size(), "unknown fleet robot id");
+    ROBOADS_CHECK(req.target < shards_.size(), "migration target out of range");
+    const std::size_t source =
+        routing_[req.robot].load(std::memory_order_relaxed);
+    if (source == req.target) continue;
+    ShardState& from = *shards_[source];
+    const auto it = from.sessions.find(req.robot);
+    ROBOADS_CHECK(it != from.sessions.end(),
+                  "routing names a shard without the session");
+    if (!it->second->idle()) {
+      // Half-assembled frames are not serializable detector state; wait
+      // for the stream to complete them (next pass retries).
+      retry.push_back(req);
+      continue;
+    }
+    const SessionSnapshot snapshot = it->second->save();
+    auto rebuilt = std::make_unique<DetectorSession>(specs_[req.robot],
+                                                     config_.session);
+    rebuilt->restore(snapshot);
+    attach_sink(*rebuilt, req.robot);
+    from.sessions.erase(it);
+    from.session_count.fetch_sub(1, std::memory_order_relaxed);
+    ShardState& to = *shards_[req.target];
+    to.sessions.emplace(req.robot, std::move(rebuilt));
+    to.session_count.fetch_add(1, std::memory_order_relaxed);
+    // Publish the new route last: packets submitted from here on go to the
+    // target; stragglers already queued on the source get forwarded.
+    routing_[req.robot].store(static_cast<std::uint32_t>(req.target),
+                              std::memory_order_release);
+  }
+  if (!retry.empty()) {
+    std::lock_guard<std::mutex> lock(migrations_mu_);
+    migrations_.insert(migrations_.end(), retry.begin(), retry.end());
+  }
+}
+
+void FleetService::migrate(std::uint64_t robot, std::size_t target_shard) {
+  std::lock_guard<std::mutex> lock(migrations_mu_);
+  migrations_.push_back({robot, target_shard});
+}
+
+void FleetService::pump_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (pump_once() == 0) brief_pause();
+  }
+}
+
+void FleetService::start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_release);
+  pump_thread_ = std::thread([this] { pump_loop(); });
+  running_ = true;
+}
+
+void FleetService::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  pump_thread_.join();
+  running_ = false;
+}
+
+void FleetService::drain() {
+  const auto queues_empty = [this] {
+    for (const auto& shard : shards_) {
+      if (shard->queue.size_approx() > 0) return false;
+    }
+    return true;
+  };
+  if (!running_) {
+    while (pump_once() > 0) {
+    }
+    return;
+  }
+  for (;;) {
+    if (queues_empty()) {
+      // Two full pump passes after observing empty rings: anything popped
+      // before the observation has been ingested, and nothing forwarded
+      // re-appeared (a forward lands back in a ring and fails the
+      // re-check below).
+      const std::uint64_t seq = pass_seq_.load(std::memory_order_acquire);
+      while (pass_seq_.load(std::memory_order_acquire) < seq + 2) {
+        brief_pause();
+      }
+      if (queues_empty()) return;
+    }
+    brief_pause();
+  }
+}
+
+std::size_t FleetService::flush_sessions() {
+  ROBOADS_CHECK(!running_, "stop the pump before flushing sessions");
+  apply_migrations();
+  std::vector<std::size_t> stepped(shards_.size(), 0);
+  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    for (auto& [robot, session] : shards_[s]->sessions) {
+      stepped[s] += session->flush();
+    }
+  });
+  std::size_t total = 0;
+  for (std::size_t n : stepped) total += n;
+  return total;
+}
+
+FleetStatus FleetService::status() const {
+  FleetStatus status;
+  status.unknown_robot_packets =
+      unknown_robot_.load(std::memory_order_relaxed);
+  std::vector<obs::HistogramSnapshot> step_parts, alarm_parts;
+  step_parts.reserve(shards_.size());
+  alarm_parts.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardState& shard = *shards_[s];
+    ShardStatus row;
+    row.shard = s;
+    row.sessions = shard.session_count.load(std::memory_order_relaxed);
+    row.steps = shard.steps.load(std::memory_order_relaxed);
+    row.sensor_alarms = shard.sensor_alarms.load(std::memory_order_relaxed);
+    row.actuator_alarms =
+        shard.actuator_alarms.load(std::memory_order_relaxed);
+    row.quarantine_iterations =
+        shard.quarantine_iterations.load(std::memory_order_relaxed);
+    row.dropped_packets = shard.dropped.load(std::memory_order_relaxed);
+    row.forwarded_packets = shard.forwarded.load(std::memory_order_relaxed);
+    row.queue_depth = shard.queue.size_approx();
+    row.ingest_to_step_ns = shard.ingest_to_step.snapshot();
+    row.ingest_to_alarm_ns = shard.ingest_to_alarm.snapshot();
+
+    status.sessions += row.sessions;
+    status.steps += row.steps;
+    status.sensor_alarms += row.sensor_alarms;
+    status.actuator_alarms += row.actuator_alarms;
+    status.quarantine_iterations += row.quarantine_iterations;
+    status.dropped_packets += row.dropped_packets;
+    status.forwarded_packets += row.forwarded_packets;
+    step_parts.push_back(row.ingest_to_step_ns);
+    alarm_parts.push_back(row.ingest_to_alarm_ns);
+    status.shards.push_back(std::move(row));
+  }
+  status.ingest_to_step_ns = obs::merge_snapshots(step_parts);
+  status.ingest_to_alarm_ns = obs::merge_snapshots(alarm_parts);
+  return status;
+}
+
+DetectorSession& FleetService::session_ref(std::uint64_t robot) const {
+  ROBOADS_CHECK(robot < routing_.size(), "unknown fleet robot id");
+  const std::size_t shard = routing_[robot].load(std::memory_order_relaxed);
+  const auto it = shards_[shard]->sessions.find(robot);
+  ROBOADS_CHECK(it != shards_[shard]->sessions.end(),
+                "routing names a shard without the session");
+  return *it->second;
+}
+
+const SessionCounters& FleetService::session_counters(
+    std::uint64_t robot) const {
+  return session_ref(robot).counters();
+}
+
+std::uint64_t FleetService::session_next_iteration(
+    std::uint64_t robot) const {
+  return session_ref(robot).next_iteration();
+}
+
+}  // namespace roboads::fleet

@@ -1,0 +1,155 @@
+// One robot's detector, fed by a packet stream (docs/FLEET.md).
+//
+// DetectorSession is the streaming façade over core::RoboAds: where the
+// mission runner hands the detector a complete (u_{k-1}, z_k) pair per
+// control iteration, a session reassembles those pairs from individual bus
+// packets that may arrive out of order, duplicated, late, or not at all.
+// The reassembly maps transport imperfections onto the exact degraded-mode
+// machinery the fault-tolerant runtime already proves out
+// (docs/ROBUSTNESS.md):
+//
+//   * a sensor whose packet never arrives for iteration k is stepped as
+//     unavailable via the SensorMask — identical to a sim/faults.h frame
+//     drop, so every masked-path guarantee carries over;
+//   * a missing command packet reuses the previous command (a frozen
+//     actuation bus), counted, never fabricated;
+//   * packets for iterations already stepped are late — counted and
+//     dropped, they can never rewrite history;
+//   * duplicates are counted and resolved latest-wins before the step.
+//
+// When every packet of an iteration arrives (the overwhelmingly common
+// case), the session steps with an *empty* mask — the bit-identical
+// all-available path — so a session fed a mission's recorded packets
+// reproduces that mission's DetectionReports exactly
+// (tests/fleet_session_test.cc pins this).
+//
+// Sessions are single-threaded by design: the fleet service owns each one
+// on exactly one shard and migrates it between shards via the PR 5
+// snapshot/restore machinery (save/restore below), never by sharing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/roboads.h"
+#include "fleet/packet.h"
+#include "obs/flight_recorder.h"
+
+namespace roboads::fleet {
+
+// Everything needed to build (or rebuild, after migration) one robot's
+// detector. Pointers are non-owning and must outlive every session built
+// from the spec; a homogeneous fleet shares one spec across all robots.
+struct SessionSpec {
+  const dyn::DynamicModel* model = nullptr;
+  const sensors::SensorSuite* suite = nullptr;
+  const Matrix* process_cov = nullptr;
+  Vector x0;
+  Matrix p0;
+  core::RoboAdsConfig config;
+  std::vector<core::Mode> modes;  // empty = platform default set
+};
+
+struct SessionConfig {
+  // Pending iterations held for reassembly. A packet more than this many
+  // iterations ahead of the oldest incomplete frame force-evicts frames
+  // (stepping them with whatever arrived) to bound memory and latency.
+  std::size_t reorder_window = 4;
+};
+
+struct SessionCounters {
+  std::uint64_t steps = 0;
+  std::uint64_t sensor_alarms = 0;    // iterations with the alarm up
+  std::uint64_t actuator_alarms = 0;
+  std::uint64_t late_packets = 0;     // iteration already stepped
+  std::uint64_t duplicate_packets = 0;
+  std::uint64_t unknown_source = 0;   // sensor name not in the suite
+  std::uint64_t forced_evictions = 0; // frames stepped incomplete
+  std::uint64_t masked_steps = 0;     // steps with >= 1 sensor unavailable
+  std::uint64_t command_substituted = 0;  // steps reusing the previous u
+};
+
+// Migration payload: the PR 5 detector snapshot plus the session's stream
+// position. Restoring into a session built from the same spec resumes
+// stepping bit-identically (tests/fleet_session_test.cc).
+struct SessionSnapshot {
+  obs::DetectorStateSnapshot detector;
+  SessionCounters counters;
+  std::uint64_t next_iteration = 1;
+  std::vector<double> last_u;
+  std::vector<double> last_z;
+};
+
+class DetectorSession {
+ public:
+  // Called after every completed step with the report and the newest
+  // ingest stamp among the packets that formed the frame (0 when the frame
+  // was synthesized entirely from substitution, e.g. a fully dark
+  // iteration force-evicted from the window).
+  using ReportSink =
+      std::function<void(const core::DetectionReport&, std::uint64_t)>;
+
+  // The spec is shared so a migrated session can be rebuilt on the target
+  // shard from the same immutable description (FleetService::migrate).
+  DetectorSession(std::shared_ptr<const SessionSpec> spec,
+                  SessionConfig config = {});
+
+  void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
+  // Feeds one packet. May trigger zero or more detector steps (a completed
+  // frame cascades into any already-complete successors). Never blocks.
+  void ingest(const FleetPacket& packet);
+
+  // Steps every pending frame in order with whatever arrived — the
+  // end-of-stream flush. Returns the number of steps taken.
+  std::size_t flush();
+
+  // No frames pending (safe to migrate without losing buffered packets).
+  bool idle() const { return pending_count_ == 0; }
+
+  // Next iteration the session will step (1-based, like mission records).
+  std::uint64_t next_iteration() const { return base_k_; }
+
+  const SessionCounters& counters() const { return counters_; }
+
+  // Shard-migration capture/restore. save() requires idle() — the caller
+  // flushes or drains first; buffered half-frames are not serializable
+  // detector state.
+  SessionSnapshot save() const;
+  void restore(const SessionSnapshot& snapshot);
+
+ private:
+  struct PendingFrame {
+    bool active = false;
+    bool has_u = false;
+    Vector u;
+    Vector z;
+    std::vector<bool> have;       // per suite sensor
+    std::uint64_t max_ingest_ns = 0;
+  };
+
+  PendingFrame& frame_at(std::uint64_t k);
+  void step_frame(std::uint64_t k);
+  void cascade();
+
+  std::shared_ptr<const SessionSpec> spec_;
+  SessionConfig config_;
+  core::RoboAds detector_;
+  std::unordered_map<std::string, std::size_t> sensor_index_;
+  std::vector<std::size_t> sensor_offset_;
+  std::vector<std::size_t> sensor_dim_;
+
+  std::vector<PendingFrame> frames_;  // ring, slot (k - base_k_) % window
+  std::size_t pending_count_ = 0;
+  std::uint64_t base_k_ = 1;          // next iteration to step
+  Vector last_u_;                     // substitute for missing commands
+  Vector last_z_;                     // last delivered reading per block
+  SessionCounters counters_;
+  ReportSink sink_;
+};
+
+}  // namespace roboads::fleet

@@ -114,6 +114,12 @@ double HistogramSnapshot::quantile(double q) const {
   return bucket_quantile(bounds, buckets, max, q);
 }
 
+HistogramSnapshot merge_snapshots(const std::vector<HistogramSnapshot>& parts) {
+  HistogramSnapshot merged;
+  for (const HistogramSnapshot& part : parts) merged.merge(part);
+  return merged;
+}
+
 void write_histogram(std::ostream& os, const HistogramSnapshot& h) {
   os << '{';
   json::write_field_key(os, "bounds", /*first=*/true);

@@ -141,6 +141,14 @@ struct HistogramSnapshot {
   double quantile(double q) const;
 };
 
+// Exact merge of any number of snapshots (empty input → empty snapshot).
+// Associativity/commutativity of HistogramSnapshot::merge makes the result
+// independent of order and grouping — the fleet supervisor folds per-shard
+// latency snapshots into one fleet distribution with this
+// (fleet/service.cc), the same algebra the campaign telemetry plane uses
+// per worker (shard/status.cc).
+HistogramSnapshot merge_snapshots(const std::vector<HistogramSnapshot>& parts);
+
 // Serializes a snapshot as a JSON object (one line, no trailing newline):
 // {"bounds":[...],"buckets":[...],"count":N,"sum":S,"sumsq":Q,"max":M}.
 // Numbers use round-trip precision, so write→parse→write is byte-stable.

@@ -21,10 +21,14 @@ namespace {
 namespace json = obs::json;
 namespace fs = std::filesystem;
 
-// A worker whose heartbeat is older than this no longer contributes its
-// rate to the fleet total — it is dead, stopped, or between retries, and
-// counting it would inflate the ETA's denominator.
-constexpr double kLiveHeartbeatSeconds = 10.0;
+// Floor and cadence multiple behind live_heartbeat_threshold_seconds: a
+// worker is live while its heartbeat is younger than
+// max(floor, multiple × configured interval). The floor keeps fast cadences
+// from declaring death on a single delayed beat; the multiple keeps slow
+// cadences (interval ≥ 10 s) from being misclassified as dead between two
+// perfectly healthy beats.
+constexpr double kLiveHeartbeatFloorSeconds = 10.0;
+constexpr double kLiveHeartbeatIntervalMultiple = 3.0;
 
 // Strips "<prefix><label><suffix>" filenames down to the label; empty when
 // the shape does not match.
@@ -92,9 +96,16 @@ std::string fmt_eta(double seconds) {
 
 }  // namespace
 
+double live_heartbeat_threshold_seconds(double heartbeat_interval_seconds) {
+  if (heartbeat_interval_seconds <= 0.0) return kLiveHeartbeatFloorSeconds;
+  return std::max(kLiveHeartbeatFloorSeconds,
+                  kLiveHeartbeatIntervalMultiple * heartbeat_interval_seconds);
+}
+
 RunStatus build_status(const Manifest& manifest, const std::string& dir,
                        const SupervisionCounters& counters,
-                       double elapsed_seconds) {
+                       double elapsed_seconds,
+                       double heartbeat_interval_seconds) {
   RunStatus status;
   status.unix_time = unix_now_seconds();
   status.total_jobs = manifest.jobs.size();
@@ -170,8 +181,10 @@ RunStatus build_status(const Manifest& manifest, const std::string& dir,
       w.max_rss_kb = newest->max_rss_kb;
     }
 
-    const bool live = w.heartbeat_age_seconds >= 0.0 &&
-                      w.heartbeat_age_seconds < kLiveHeartbeatSeconds;
+    const bool live =
+        w.heartbeat_age_seconds >= 0.0 &&
+        w.heartbeat_age_seconds <
+            live_heartbeat_threshold_seconds(heartbeat_interval_seconds);
     if (live) status.rate_jobs_per_second += w.rate_jobs_per_second;
   }
 

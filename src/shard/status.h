@@ -71,12 +71,25 @@ struct RunStatus {
   std::vector<WorkerStatus> workers;  // label order
 };
 
+// A worker whose heartbeat is older than this is excluded from the fleet
+// completion rate (it is dead, stopped, or between retries; counting it
+// would inflate the ETA's denominator). The threshold scales with the
+// configured heartbeat/telemetry cadence — a worker legitimately beating
+// every 15 s must not be declared dead at 10 s — with a floor for fast
+// cadences so one missed beat isn't a death sentence.
+// `heartbeat_interval_seconds <= 0` selects the floor alone.
+double live_heartbeat_threshold_seconds(double heartbeat_interval_seconds);
+
 // Computes a status from the run directory's files. Tolerates torn
 // telemetry/heartbeat tails (never repairs — sibling processes may be
 // writing); throws only on real mid-file corruption.
+// `heartbeat_interval_seconds` is the cadence the run's workers were
+// configured with (--telemetry-interval); it sets the liveness threshold
+// via live_heartbeat_threshold_seconds.
 RunStatus build_status(const Manifest& manifest, const std::string& dir,
                        const SupervisionCounters& counters = {},
-                       double elapsed_seconds = 0.0);
+                       double elapsed_seconds = 0.0,
+                       double heartbeat_interval_seconds = 0.0);
 
 // Single-line JSON round-trip (byte-stable through write→parse→write).
 std::string serialize_status(const RunStatus& status);

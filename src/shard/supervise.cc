@@ -78,10 +78,11 @@ struct Slot {
 class StatusWriter {
  public:
   StatusWriter(const Manifest& manifest, const std::string& dir,
-               double interval_seconds)
+               double interval_seconds, double heartbeat_interval_seconds)
       : manifest_(manifest),
         dir_(dir),
         interval_seconds_(interval_seconds),
+        heartbeat_interval_seconds_(heartbeat_interval_seconds),
         started_(monotonic_now()) {}
 
   void maybe_write(const SuperviseResult& result) {
@@ -109,7 +110,8 @@ class StatusWriter {
     try {
       write_status_file(
           status_path(dir_),
-          build_status(manifest_, dir_, counters, now - started_));
+          build_status(manifest_, dir_, counters, now - started_,
+                       heartbeat_interval_seconds_));
     } catch (const std::exception&) {
       // Keep supervising; the next interval retries.
     }
@@ -119,6 +121,7 @@ class StatusWriter {
   const Manifest& manifest_;
   const std::string dir_;
   const double interval_seconds_;
+  const double heartbeat_interval_seconds_;
   const double started_;
   double last_write_ = -1e18;
 };
@@ -279,7 +282,8 @@ SuperviseResult supervise(const Manifest& manifest, const std::string& dir,
                           const SupervisorConfig& config,
                           const WorkerLauncher& launcher) {
   SuperviseResult result;
-  StatusWriter status(manifest, dir, config.status_interval_seconds);
+  StatusWriter status(manifest, dir, config.status_interval_seconds,
+                      config.telemetry_interval_seconds);
   std::mt19937_64 chaos_rng(config.chaos_seed);
   std::size_t chaos_kills_left = config.chaos_kills;
   std::size_t chaos_stops_left = config.chaos_stops;

@@ -53,6 +53,13 @@ struct SupervisorConfig {
   // (shard/status.h) for `roboads_shard watch`. <= 0 disables publication.
   double status_interval_seconds = 1.0;
 
+  // The heartbeat/telemetry cadence the workers were launched with
+  // (--telemetry-interval). Published snapshots derive the worker-liveness
+  // threshold from it (shard/status.h live_heartbeat_threshold_seconds), so
+  // slow-cadence fleets are not misclassified as dead and dropped from the
+  // rate/ETA. <= 0 falls back to the threshold floor.
+  double telemetry_interval_seconds = 5.0;
+
   // Chaos injection: SIGKILL / SIGSTOP this many randomly chosen running
   // workers, one each at staggered points of the campaign. A stopped worker
   // keeps its process slot but stops heartbeating, so it exercises the

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <set>
 
+#include "common/parse.h"
 #include "obs/metrics.h"
 #include "shard/checkpoint.h"
 #include "shard/heartbeat.h"
@@ -130,13 +131,37 @@ int worker_main(const std::vector<std::string>& args) {
     } else if (flag_value(arg, "--label", &value)) {
       options.label = value;
     } else if (flag_value(arg, "--shard", &value)) {
-      options.shard = std::stoi(value);
+      // Malformed numerics must be a diagnostic + exit 2, never an uncaught
+      // std::invalid_argument that kills the worker before run_worker's
+      // try/catch can see it (the supervisor would read that as a crash and
+      // burn a retry on input that can never parse).
+      const auto shard = common::parse_i64(value);
+      if (!shard || *shard < -1) {
+        std::cerr << "shard worker: --shard expects a shard index, got \""
+                  << value << "\"\n";
+        return 2;
+      }
+      options.shard = static_cast<int>(*shard);
     } else if (flag_value(arg, "--job", &value)) {
       options.job_ids.push_back(value);
     } else if (flag_value(arg, "--shrink-budget", &value)) {
-      options.shrink_budget = static_cast<std::size_t>(std::stoul(value));
+      const auto budget = common::parse_u64(value);
+      if (!budget) {
+        std::cerr << "shard worker: --shrink-budget expects a non-negative "
+                     "integer, got \""
+                  << value << "\"\n";
+        return 2;
+      }
+      options.shrink_budget = static_cast<std::size_t>(*budget);
     } else if (flag_value(arg, "--telemetry-interval", &value)) {
-      options.telemetry_interval_seconds = std::stod(value);
+      const auto interval = common::parse_double(value);
+      if (!interval || *interval < 0.0) {
+        std::cerr << "shard worker: --telemetry-interval expects a "
+                     "non-negative number of seconds, got \""
+                  << value << "\"\n";
+        return 2;
+      }
+      options.telemetry_interval_seconds = *interval;
     } else if (arg == "--bundles") {
       options.record_bundles = true;
     } else {

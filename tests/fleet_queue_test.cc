@@ -1,0 +1,169 @@
+// common::BoundedMpmcQueue — the lock-free ingestion ring behind the fleet
+// service's explicit-backpressure front (docs/FLEET.md). Covers single-
+// threaded FIFO semantics, the drop-oldest policy, and a multi-producer /
+// multi-consumer stress round that TSan inspects for races (./ci.sh tsan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+
+namespace roboads::common {
+namespace {
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BoundedMpmcQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedMpmcQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(BoundedMpmcQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(BoundedMpmcQueue<int>(4).capacity(), 4u);
+  EXPECT_EQ(BoundedMpmcQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpmcQueue, FifoOrderAndFullEmptyEdges) {
+  BoundedMpmcQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.try_pop(out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));  // empty again
+
+  // Wrap the ring a few times to exercise the sequence-number lap logic.
+  for (int lap = 0; lap < 3; ++lap) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.try_push(lap * 10 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(q.try_pop(out));
+      EXPECT_EQ(out, lap * 10 + i);
+    }
+  }
+}
+
+TEST(MpmcQueue, DropOldestShedsTheOldestNotTheNewest) {
+  BoundedMpmcQueue<int> q(4);
+  std::size_t dropped = 0;
+  for (int i = 0; i < 10; ++i) dropped += q.push_dropping_oldest(i);
+  EXPECT_EQ(dropped, 6u);  // 10 pushed into 4 slots
+
+  // The survivors are exactly the newest four, still in order.
+  int out = 0;
+  for (int expect = 6; expect < 10; ++expect) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(MpmcQueue, DropOldestKeepsTheElementAcrossTheFullRetry) {
+  // Regression: push_dropping_oldest must not move from its element on the
+  // failed (ring-full) attempt — the retry would then land a hollowed-out
+  // value. Use a move-visible type to catch it.
+  BoundedMpmcQueue<std::vector<int>> q(2);
+  ASSERT_TRUE(q.try_push(std::vector<int>{1}));
+  ASSERT_TRUE(q.try_push(std::vector<int>{2}));
+  EXPECT_EQ(q.push_dropping_oldest(std::vector<int>{3, 3, 3}), 1u);
+
+  std::vector<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, std::vector<int>{2});
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, (std::vector<int>{3, 3, 3}));
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothingWhenSized) {
+  // Ring large enough that nothing is shed: every pushed value must come
+  // out exactly once. 4 producers × 4 consumers for TSan to chew on.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedMpmcQueue<std::uint64_t> q(kProducers * kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::atomic<int> popped{0};
+  std::vector<std::vector<std::uint64_t>> got(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::uint64_t v = 0;
+      while (popped.load(std::memory_order_relaxed) <
+             kProducers * kPerProducer) {
+        if (q.try_pop(v)) {
+          got[c].push_back(v);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (std::thread& t : consumers) t.join();
+
+  std::set<std::uint64_t> seen;
+  for (const auto& chunk : got) seen.insert(chunk.begin(), chunk.end());
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(*seen.rbegin(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer - 1);
+}
+
+TEST(MpmcQueue, ConcurrentDropOldestAccountsEveryDrop) {
+  // Tiny ring, drop-oldest producers, one consumer: pushed = popped +
+  // dropped + left-in-ring must balance exactly.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedMpmcQueue<int> q(8);
+
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> popped{0};
+  std::thread consumer([&] {
+    int v = 0;
+    for (;;) {
+      if (q.try_pop(v)) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (done.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        dropped.fetch_add(q.push_dropping_oldest(i),
+                          std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  std::uint64_t leftover = 0;
+  int v = 0;
+  while (q.try_pop(v)) ++leftover;
+  EXPECT_EQ(static_cast<std::uint64_t>(kProducers) * kPerProducer,
+            popped.load() + dropped.load() + leftover);
+}
+
+}  // namespace
+}  // namespace roboads::common

@@ -1,0 +1,314 @@
+// DetectorSession — the streaming façade's core guarantee (docs/FLEET.md):
+// fed a recorded mission's packets, a session reproduces that mission's
+// DetectionReports bit for bit, including through out-of-order delivery,
+// duplicates, transport-fault availability masks, and a mid-stream
+// save/restore migration. Late packets and forced evictions are counted,
+// never silently absorbed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "eval/khepera.h"
+#include "eval/mission.h"
+#include "fleet/replay.h"
+#include "fleet/session.h"
+
+namespace roboads::fleet {
+namespace {
+
+struct MissionRun {
+  eval::KheperaPlatform platform;
+  eval::MissionResult mission;
+  std::shared_ptr<const SessionSpec> spec;
+
+  explicit MissionRun(std::size_t iterations, std::uint64_t seed,
+               std::size_t scenario = 0,
+               sim::TransportFaultConfig faults = {}) {
+    eval::MissionConfig cfg;
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    cfg.transport_faults = std::move(faults);
+    const attacks::Scenario sc = scenario == 0
+                                     ? platform.clean_scenario()
+                                     : platform.table2_scenario(scenario);
+    mission = eval::run_mission(platform, sc, cfg);
+    spec = make_session_spec(platform);
+  }
+};
+
+// Feeds `packets` and checks every emitted report against the mission's
+// records, in order. Returns the session's counters.
+SessionCounters expect_parity(const MissionRun& run,
+                              const std::vector<FleetPacket>& packets,
+                              SessionConfig config = {}) {
+  DetectorSession session(run.spec, config);
+  std::size_t at = 0;
+  session.set_report_sink([&](const core::DetectionReport& report,
+                              std::uint64_t /*ingest*/) {
+    ASSERT_LT(at, run.mission.records.size());
+    const std::string diff =
+        compare_reports(run.mission.records[at].report, report);
+    EXPECT_TRUE(diff.empty()) << "iteration " << run.mission.records[at].k
+                              << ": " << diff;
+    ++at;
+  });
+  for (const FleetPacket& p : packets) session.ingest(p);
+  session.flush();
+  EXPECT_EQ(at, run.mission.records.size());
+  return session.counters();
+}
+
+TEST(FleetSession, BitIdenticalToCleanMission) {
+  const MissionRun run(80, 11);
+  ASSERT_GE(run.mission.records.size(), 40u);
+  const SessionCounters counters = expect_parity(
+      run, mission_packets(0, run.platform.suite(), run.mission));
+  EXPECT_EQ(counters.steps, run.mission.records.size());
+  EXPECT_EQ(counters.masked_steps, 0u);
+  EXPECT_EQ(counters.late_packets, 0u);
+  EXPECT_EQ(counters.duplicate_packets, 0u);
+  EXPECT_EQ(counters.forced_evictions, 0u);
+  EXPECT_EQ(counters.command_substituted, 0u);
+}
+
+TEST(FleetSession, BitIdenticalToAttackMissionIncludingAlarms) {
+  // Table II scenario 8: IPS onset at k=40, wheel encoders at k=100 — the
+  // stream carries real alarms, and the session must count them.
+  const MissionRun run(120, 8, /*scenario=*/8);
+  std::uint64_t mission_sensor_alarms = 0;
+  for (const eval::IterationRecord& rec : run.mission.records) {
+    if (rec.report.decision.sensor_alarm) ++mission_sensor_alarms;
+  }
+  ASSERT_GT(mission_sensor_alarms, 0u);
+  const SessionCounters counters = expect_parity(
+      run, mission_packets(0, run.platform.suite(), run.mission));
+  EXPECT_EQ(counters.sensor_alarms, mission_sensor_alarms);
+}
+
+TEST(FleetSession, BitIdenticalToFaultMaskedMission) {
+  // Transport faults populate rec.sensor_available; the session must step
+  // those iterations masked and still match every report.
+  sim::SensorFaultSpec drop;
+  drop.sensor = "ips";
+  drop.drop_rate = 0.3;
+  const MissionRun run(80, 17, /*scenario=*/0,
+                sim::TransportFaultConfig::single(drop));
+  std::size_t masked = 0;
+  for (const eval::IterationRecord& rec : run.mission.records) {
+    if (!rec.sensor_available.empty() &&
+        std::find(rec.sensor_available.begin(), rec.sensor_available.end(),
+                  false) != rec.sensor_available.end()) {
+      ++masked;
+    }
+  }
+  ASSERT_GT(masked, 0u) << "fault config never dropped a frame";
+  const SessionCounters counters = expect_parity(
+      run, mission_packets(0, run.platform.suite(), run.mission));
+  EXPECT_EQ(counters.masked_steps, masked);
+}
+
+TEST(FleetSession, OutOfOrderWithinTheWindowIsBitIdentical) {
+  const MissionRun run(60, 23);
+  const sensors::SensorSuite& suite = run.platform.suite();
+
+  // Shuffle packet order within each adjacent pair of iterations (strictly
+  // inside the default reorder window of 4), deterministically.
+  std::vector<FleetPacket> packets;
+  std::mt19937 shuffle_rng(42);
+  for (std::size_t i = 0; i + 1 < run.mission.records.size(); i += 2) {
+    std::vector<FleetPacket> pair;
+    append_iteration_packets(pair, 0, suite, run.mission.records[i]);
+    append_iteration_packets(pair, 0, suite, run.mission.records[i + 1]);
+    std::shuffle(pair.begin(), pair.end(), shuffle_rng);
+    packets.insert(packets.end(), pair.begin(), pair.end());
+  }
+  if (run.mission.records.size() % 2 == 1) {
+    append_iteration_packets(packets, 0, suite, run.mission.records.back());
+  }
+
+  const SessionCounters counters = expect_parity(run, packets);
+  EXPECT_EQ(counters.steps, run.mission.records.size());
+  EXPECT_EQ(counters.forced_evictions, 0u);
+  EXPECT_EQ(counters.masked_steps, 0u);  // every frame completed eventually
+}
+
+TEST(FleetSession, LatePacketsAreCountedAndCannotRewriteHistory) {
+  const MissionRun run(40, 29);
+  const sensors::SensorSuite& suite = run.platform.suite();
+  const std::vector<FleetPacket> packets =
+      mission_packets(0, suite, run.mission);
+
+  DetectorSession session(run.spec);
+  std::size_t reports = 0;
+  session.set_report_sink(
+      [&](const core::DetectionReport&, std::uint64_t) { ++reports; });
+  for (const FleetPacket& p : packets) session.ingest(p);
+  const std::size_t stepped = reports;
+  ASSERT_EQ(stepped, run.mission.records.size());
+
+  // Replaying the first iteration's packets must change nothing.
+  std::vector<FleetPacket> first;
+  append_iteration_packets(first, 0, suite, run.mission.records.front());
+  for (const FleetPacket& p : first) session.ingest(p);
+  EXPECT_EQ(reports, stepped);
+  EXPECT_EQ(session.counters().late_packets, first.size());
+  EXPECT_EQ(session.counters().steps, stepped);
+}
+
+TEST(FleetSession, DuplicatesResolveLatestWins) {
+  const MissionRun run(40, 31);
+  const sensors::SensorSuite& suite = run.platform.suite();
+
+  // Per iteration: corrupted copies of every sensor packet first, then the
+  // real readings, then the command. The frame cannot complete until the
+  // command lands (a session steps the instant a frame completes, so a
+  // duplicate arriving *after* completion would be a late packet, not a
+  // resolvable duplicate) — every real reading overwrites its corrupted
+  // twin latest-wins, and reports stay bit-identical.
+  std::vector<FleetPacket> packets;
+  std::uint64_t expected_duplicates = 0;
+  for (const eval::IterationRecord& rec : run.mission.records) {
+    std::vector<FleetPacket> one;
+    append_iteration_packets(one, 0, suite, rec);
+    for (const FleetPacket& p : one) {
+      if (p.packet.kind == bus::PacketKind::kSensorReading) {
+        FleetPacket garbage = p;
+        garbage.packet.payload = garbage.packet.payload * 3.0;
+        packets.push_back(std::move(garbage));
+        ++expected_duplicates;
+      }
+    }
+    for (const FleetPacket& p : one) {
+      if (p.packet.kind == bus::PacketKind::kSensorReading) {
+        packets.push_back(p);
+      }
+    }
+    for (const FleetPacket& p : one) {
+      if (p.packet.kind == bus::PacketKind::kControlCommand) {
+        packets.push_back(p);
+      }
+    }
+  }
+
+  const SessionCounters counters = expect_parity(run, packets);
+  EXPECT_EQ(counters.duplicate_packets, expected_duplicates);
+}
+
+TEST(FleetSession, UnknownSourcesAndBadDimensionsAreCounted) {
+  const MissionRun run(10, 37);
+  DetectorSession session(run.spec);
+  FleetPacket bogus;
+  bogus.packet.source = "no-such-sensor";
+  bogus.packet.kind = bus::PacketKind::kSensorReading;
+  bogus.packet.iteration = 1;
+  bogus.packet.payload = Vector(3);
+  session.ingest(bogus);
+
+  FleetPacket wrong_dim;
+  wrong_dim.packet.source = run.platform.suite().sensor(0).name();
+  wrong_dim.packet.kind = bus::PacketKind::kSensorReading;
+  wrong_dim.packet.iteration = 1;
+  wrong_dim.packet.payload = Vector(99);
+  session.ingest(wrong_dim);
+
+  EXPECT_EQ(session.counters().unknown_source, 2u);
+  EXPECT_EQ(session.counters().steps, 0u);
+}
+
+TEST(FleetSession, FarAheadPacketForceEvictsIncompleteFrames) {
+  const MissionRun run(20, 41);
+  const sensors::SensorSuite& suite = run.platform.suite();
+
+  DetectorSession session(run.spec, SessionConfig{/*reorder_window=*/4});
+  std::size_t reports = 0;
+  session.set_report_sink(
+      [&](const core::DetectionReport&, std::uint64_t) { ++reports; });
+
+  // Iteration 1 arrives missing its command; iterations 2..4 never arrive.
+  std::vector<FleetPacket> one;
+  append_iteration_packets(one, 0, suite, run.mission.records.front());
+  for (const FleetPacket& p : one) {
+    if (p.packet.kind != bus::PacketKind::kControlCommand) session.ingest(p);
+  }
+  EXPECT_EQ(reports, 0u);  // incomplete: held in the window
+
+  // A packet for iteration 8 pushes the window (4) past 1..4: all four
+  // step now. Frame 1 has every sensor (unmasked, command substituted);
+  // 2..4 are fully dark (masked all-unavailable, command substituted).
+  std::vector<FleetPacket> eight;
+  append_iteration_packets(eight, 0, suite, run.mission.records[7]);
+  session.ingest(eight.front());
+  EXPECT_EQ(reports, 4u);
+  EXPECT_EQ(session.counters().forced_evictions, 4u);
+  EXPECT_EQ(session.counters().command_substituted, 4u);
+  EXPECT_EQ(session.counters().masked_steps, 3u);
+  EXPECT_EQ(session.next_iteration(), 5u);
+}
+
+TEST(FleetSession, SaveRestoreResumesBitIdentically) {
+  const MissionRun run(60, 43, /*scenario=*/8);
+  const sensors::SensorSuite& suite = run.platform.suite();
+  const std::size_t half = run.mission.records.size() / 2;
+  ASSERT_GT(half, 10u);
+
+  // First half into session A; snapshot; restore into a fresh session B
+  // built from the same spec; second half into B. Every report must still
+  // match the mission's.
+  DetectorSession a(run.spec);
+  std::size_t at = 0;
+  const auto checker = [&](const core::DetectionReport& report,
+                           std::uint64_t) {
+    ASSERT_LT(at, run.mission.records.size());
+    const std::string diff =
+        compare_reports(run.mission.records[at].report, report);
+    EXPECT_TRUE(diff.empty()) << "iteration " << run.mission.records[at].k
+                              << ": " << diff;
+    ++at;
+  };
+  a.set_report_sink(checker);
+  for (std::size_t i = 0; i < half; ++i) {
+    std::vector<FleetPacket> one;
+    append_iteration_packets(one, 0, suite, run.mission.records[i]);
+    for (const FleetPacket& p : one) a.ingest(p);
+  }
+  ASSERT_EQ(at, half);
+  ASSERT_TRUE(a.idle());
+  const SessionSnapshot snap = a.save();
+
+  DetectorSession b(run.spec);
+  b.restore(snap);
+  EXPECT_EQ(b.next_iteration(), half + 1);
+  b.set_report_sink(checker);
+  for (std::size_t i = half; i < run.mission.records.size(); ++i) {
+    std::vector<FleetPacket> one;
+    append_iteration_packets(one, 0, suite, run.mission.records[i]);
+    for (const FleetPacket& p : one) b.ingest(p);
+  }
+  EXPECT_EQ(at, run.mission.records.size());
+  EXPECT_EQ(b.counters().steps, run.mission.records.size());
+}
+
+TEST(FleetSession, SaveRequiresIdle) {
+  const MissionRun run(10, 47);
+  DetectorSession session(run.spec);
+  std::vector<FleetPacket> one;
+  append_iteration_packets(one, 0, run.platform.suite(),
+                           run.mission.records.front());
+  // Only a sensor packet: the frame stays pending, save must refuse.
+  for (const FleetPacket& p : one) {
+    if (p.packet.kind == bus::PacketKind::kSensorReading) {
+      session.ingest(p);
+      break;
+    }
+  }
+  EXPECT_FALSE(session.idle());
+  EXPECT_THROW(session.save(), std::exception);
+  session.flush();
+  EXPECT_TRUE(session.idle());
+  EXPECT_NO_THROW(session.save());
+}
+
+}  // namespace
+}  // namespace roboads::fleet

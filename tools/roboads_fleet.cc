@@ -1,0 +1,250 @@
+// roboads_fleet — drive the fleet-scale detection service from recorded
+// missions (docs/FLEET.md).
+//
+//   roboads_fleet --robots=32 --scenario=8 --iterations=120 --parity
+//
+// records a handful of distinct missions (cycling seeds), replays them as
+// interleaved packet streams through a live FleetService (concurrent
+// producers + pump thread), and reports fleet totals. With --parity every
+// robot's streamed DetectionReports are compared bit-exactly against its
+// source mission — the guarantee ./ci.sh fleet-smoke enforces.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parse.h"
+#include "eval/khepera.h"
+#include "eval/mission.h"
+#include "fleet/replay.h"
+#include "fleet/service.h"
+
+namespace {
+
+using namespace roboads;
+
+struct Options {
+  std::size_t robots = 32;
+  std::size_t shards = 0;  // 0 = hardware
+  std::size_t iterations = 120;
+  std::size_t scenario = 8;  // 0 = clean
+  std::uint64_t seed = 1;
+  std::size_t missions = 4;  // distinct mission streams, cycled over robots
+  bool parity = false;
+  bool json = false;
+};
+
+int usage(std::ostream& os, int rc) {
+  os << "usage: roboads_fleet [--robots=N] [--shards=N] [--iterations=N]\n"
+        "                     [--scenario=N] [--seed=N] [--missions=N]\n"
+        "                     [--parity] [--json]\n"
+        "  --robots     fleet size (default 32)\n"
+        "  --shards     detection shards; 0 = hardware concurrency\n"
+        "  --iterations mission length per robot (default 120)\n"
+        "  --scenario   Table II scenario number; 0 = attack-free\n"
+        "  --seed       base mission seed (robot r uses seed + r % missions)\n"
+        "  --missions   distinct recorded missions cycled over the fleet\n"
+        "  --parity     verify every robot's streamed reports bit-exactly\n"
+        "               against its source mission (exit 1 on mismatch)\n"
+        "  --json       machine-readable fleet summary on stdout\n";
+  return rc;
+}
+
+bool flag_value(const std::string& arg, const std::string& name,
+                std::string* value) {
+  const std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int run(const Options& o) {
+  eval::KheperaPlatform platform;
+  const auto spec = fleet::make_session_spec(platform);
+  const attacks::Scenario scenario = o.scenario == 0
+                                         ? platform.clean_scenario()
+                                         : platform.table2_scenario(o.scenario);
+
+  // Record the mission streams once; robots cycle over them.
+  std::vector<eval::MissionResult> missions;
+  for (std::size_t m = 0; m < std::min(o.missions, o.robots); ++m) {
+    eval::MissionConfig cfg;
+    cfg.iterations = o.iterations;
+    cfg.seed = o.seed + m;
+    missions.push_back(eval::run_mission(platform, scenario, cfg));
+  }
+
+  fleet::FleetConfig config;
+  config.shards = o.shards;
+  // Per-robot collected reports for parity (robot-disjoint writes; see
+  // FleetConfig::on_report).
+  std::vector<std::vector<core::DetectionReport>> streamed(o.robots);
+  if (o.parity) {
+    // Drop-oldest backpressure is correct service behavior but incompatible
+    // with a bit-parity check: a shed packet is a masked step. Size each
+    // shard's ring to hold its robots' entire streams so a slow pump (e.g.
+    // a one-core box) backs the producers onto the queue instead of
+    // shedding.
+    const std::size_t shards =
+        common::ThreadPool::resolve_thread_count(o.shards);
+    const std::size_t per_shard = (o.robots + shards - 1) / shards;
+    config.queue_capacity =
+        per_shard * o.iterations * (platform.suite().count() + 1);
+    config.on_report = [&streamed](std::uint64_t robot,
+                                   const core::DetectionReport& report,
+                                   std::uint64_t) {
+      streamed[robot].push_back(report);
+    };
+  }
+  fleet::FleetService service(config);
+  for (std::size_t r = 0; r < o.robots; ++r) service.add_robot(spec);
+  service.start();
+
+  // Concurrent producers, one per hardware-ish slice of the fleet, each
+  // interleaving its robots' packets iteration by iteration.
+  const std::size_t producers =
+      std::max<std::size_t>(1, std::min<std::size_t>(4, o.robots));
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < producers; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t max_iters = 0;
+      for (const eval::MissionResult& m : missions) {
+        max_iters = std::max(max_iters, m.records.size());
+      }
+      std::vector<fleet::FleetPacket> batch;
+      for (std::size_t i = 0; i < max_iters; ++i) {
+        for (std::size_t r = t; r < o.robots; r += producers) {
+          const eval::MissionResult& m = missions[r % missions.size()];
+          if (i >= m.records.size()) continue;
+          batch.clear();
+          fleet::append_iteration_packets(batch, r, platform.suite(),
+                                          m.records[i]);
+          for (fleet::FleetPacket& p : batch) service.submit(std::move(p));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service.drain();
+  service.stop();
+  service.flush_sessions();
+
+  const fleet::FleetStatus status = service.status();
+
+  std::size_t parity_failures = 0;
+  if (o.parity) {
+    for (std::size_t r = 0; r < o.robots; ++r) {
+      const eval::MissionResult& m = missions[r % missions.size()];
+      if (streamed[r].size() != m.records.size()) {
+        std::cerr << "parity: robot " << r << " stepped " << streamed[r].size()
+                  << " iterations, mission has " << m.records.size() << "\n";
+        ++parity_failures;
+        continue;
+      }
+      for (std::size_t i = 0; i < streamed[r].size(); ++i) {
+        const std::string diff =
+            fleet::compare_reports(m.records[i].report, streamed[r][i]);
+        if (!diff.empty()) {
+          std::cerr << "parity: robot " << r << " iteration "
+                    << m.records[i].k << ": " << diff << "\n";
+          ++parity_failures;
+          break;
+        }
+      }
+    }
+  }
+
+  if (o.json) {
+    std::cout << "{\"robots\":" << o.robots << ",\"shards\":"
+              << service.shard_count() << ",\"steps\":" << status.steps
+              << ",\"sensor_alarms\":" << status.sensor_alarms
+              << ",\"actuator_alarms\":" << status.actuator_alarms
+              << ",\"quarantine_iterations\":" << status.quarantine_iterations
+              << ",\"dropped_packets\":" << status.dropped_packets
+              << ",\"forwarded_packets\":" << status.forwarded_packets
+              << ",\"p50_ingest_to_step_ns\":"
+              << status.ingest_to_step_ns.quantile(0.50)
+              << ",\"p99_ingest_to_step_ns\":"
+              << status.ingest_to_step_ns.quantile(0.99)
+              << ",\"parity\":" << (o.parity ? "true" : "false")
+              << ",\"parity_failures\":" << parity_failures << "}\n";
+  } else {
+    std::cout << "fleet     " << o.robots << " robots on "
+              << service.shard_count() << " shards\n"
+              << "steps     " << status.steps << " (sensor alarms "
+              << status.sensor_alarms << ", actuator alarms "
+              << status.actuator_alarms << ")\n"
+              << "transport dropped " << status.dropped_packets
+              << ", forwarded " << status.forwarded_packets << "\n"
+              << "latency   ingest->step p50<="
+              << status.ingest_to_step_ns.quantile(0.50) << "ns p99<="
+              << status.ingest_to_step_ns.quantile(0.99) << "ns\n";
+    if (o.parity) {
+      std::cout << "parity    "
+                << (parity_failures == 0 ? "bit-identical to serial missions"
+                                         : "FAILED")
+                << "\n";
+    }
+  }
+  return parity_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    const auto parse_count = [&](std::size_t* out) {
+      const auto n = roboads::common::parse_u64(value);
+      if (!n) {
+        std::cerr << "roboads_fleet: " << arg
+                  << " expects a non-negative integer\n";
+        return false;
+      }
+      *out = static_cast<std::size_t>(*n);
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (flag_value(arg, "--robots", &value)) {
+      if (!parse_count(&o.robots)) return 2;
+    } else if (flag_value(arg, "--shards", &value)) {
+      if (!parse_count(&o.shards)) return 2;
+    } else if (flag_value(arg, "--iterations", &value)) {
+      if (!parse_count(&o.iterations)) return 2;
+    } else if (flag_value(arg, "--scenario", &value)) {
+      if (!parse_count(&o.scenario)) return 2;
+    } else if (flag_value(arg, "--missions", &value)) {
+      if (!parse_count(&o.missions)) return 2;
+    } else if (flag_value(arg, "--seed", &value)) {
+      const auto n = roboads::common::parse_u64(value);
+      if (!n) {
+        std::cerr << "roboads_fleet: --seed expects a non-negative integer\n";
+        return 2;
+      }
+      o.seed = *n;
+    } else if (arg == "--parity") {
+      o.parity = true;
+    } else if (arg == "--json") {
+      o.json = true;
+    } else {
+      std::cerr << "roboads_fleet: unknown argument " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (o.robots == 0 || o.iterations == 0 || o.missions == 0) {
+    std::cerr << "roboads_fleet: --robots, --iterations and --missions must "
+                 "be positive\n";
+    return 2;
+  }
+  try {
+    return run(o);
+  } catch (const std::exception& e) {
+    std::cerr << "roboads_fleet: " << e.what() << "\n";
+    return 2;
+  }
+}

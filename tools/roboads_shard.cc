@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.h"
 #include "shard/checkpoint.h"
 #include "shard/exec.h"
 #include "shard/manifest.h"
@@ -80,26 +81,24 @@ bool flag_value(const std::string& arg, const char* name, std::string* out) {
 
 std::size_t parse_count(const char* flag, const std::string& value,
                         bool allow_zero) {
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (value.empty() || end == value.c_str() || *end != '\0') {
+  const auto parsed = roboads::common::parse_u64(value);
+  if (!parsed) {
     usage_error(std::string(flag) + " expects a non-negative integer, got \"" +
                 value + "\"");
   }
-  if (!allow_zero && parsed == 0) {
+  if (!allow_zero && *parsed == 0) {
     usage_error(std::string(flag) + " must be positive");
   }
-  return static_cast<std::size_t>(parsed);
+  return static_cast<std::size_t>(*parsed);
 }
 
 double parse_fraction(const char* flag, const std::string& value) {
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (value.empty() || end == value.c_str() || *end != '\0' || parsed < 0.0) {
+  const auto parsed = roboads::common::parse_double(value);
+  if (!parsed || *parsed < 0.0) {
     usage_error(std::string(flag) + " expects a non-negative number, got \"" +
                 value + "\"");
   }
-  return parsed;
+  return *parsed;
 }
 
 void write_report_file(const std::string& path, const MergedReport& report) {
@@ -201,8 +200,10 @@ int cmd_run(const std::vector<std::string>& args) {
     else if (flag_value(arg, "--heartbeat-timeout", &value))
       config.heartbeat_timeout_seconds =
           parse_fraction("--heartbeat-timeout", value);
-    else if (flag_value(arg, "--telemetry-interval", &value))
+    else if (flag_value(arg, "--telemetry-interval", &value)) {
       telemetry_interval = parse_fraction("--telemetry-interval", value);
+      config.telemetry_interval_seconds = telemetry_interval;
+    }
     else if (flag_value(arg, "--status-interval", &value))
       config.status_interval_seconds =
           parse_fraction("--status-interval", value);
@@ -299,6 +300,7 @@ int cmd_watch(const std::vector<std::string>& args) {
   std::string dir, manifest_path;
   bool once = false, as_json = false;
   double interval = 1.0;
+  double telemetry_interval = 5.0;  // liveness cadence of the watched run
   for (const std::string& arg : args) {
     std::string value;
     if (flag_value(arg, "--dir", &value)) dir = value;
@@ -307,6 +309,8 @@ int cmd_watch(const std::vector<std::string>& args) {
     else if (arg == "--json") as_json = true;
     else if (flag_value(arg, "--interval", &value))
       interval = parse_fraction("--interval", value);
+    else if (flag_value(arg, "--telemetry-interval", &value))
+      telemetry_interval = parse_fraction("--telemetry-interval", value);
     else usage_error("watch: unknown argument \"" + arg + "\"");
   }
   if (dir.empty()) usage_error("watch: --dir is required");
@@ -324,7 +328,7 @@ int cmd_watch(const std::vector<std::string>& args) {
   while (true) {
     RunStatus status;
     if (manifest.has_value()) {
-      status = build_status(*manifest, dir);
+      status = build_status(*manifest, dir, {}, 0.0, telemetry_interval);
     } else {
       status = read_status_file(status_path(dir));
     }
