@@ -18,6 +18,7 @@
 //
 // Emits google-benchmark-shaped JSON (--json-out=) so bench_summary.py
 // folds both phases into BENCH_PERF.json next to perf_nuise's rows.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -31,8 +32,10 @@
 #include "common/parse.h"
 #include "eval/khepera.h"
 #include "eval/mission.h"
+#include "fleet/introspect.h"
 #include "fleet/replay.h"
 #include "fleet/service.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -48,6 +51,11 @@ struct Options {
   std::size_t producers = 4;
   std::uint64_t seed = 1;
   std::string json_out;
+  // Introspection-plane knobs, to measure the serving tiers under load:
+  // live fleet_status.json publishing from the pump and/or span sampling.
+  std::string status_out;
+  double status_interval_s = 1.0;
+  std::size_t trace_sample = 0;
 };
 
 struct PhaseResult {
@@ -60,6 +68,8 @@ struct PhaseResult {
   double p50_alarm_ns = 0.0;
   double p99_alarm_ns = 0.0;
   std::size_t shards = 0;
+  std::size_t queue_high_water = 0;  // deepest any shard ring got
+  std::uint64_t spans = 0;           // span events emitted (trace_sample on)
 };
 
 double now_seconds() {
@@ -76,6 +86,11 @@ PhaseResult run_phase(const std::string& name, const Options& o,
                       std::size_t iterations, double pace_hz) {
   fleet::FleetConfig config;
   config.shards = o.shards;
+  obs::TraceSink spans;
+  config.introspect.trace_sample = o.trace_sample;
+  if (o.trace_sample > 0) config.introspect.span_sink = &spans;
+  config.introspect.status_path = o.status_out;
+  config.introspect.status_interval_s = o.status_interval_s;
   fleet::FleetService service(config);
   const auto spec = fleet::make_session_spec(platform);
   for (std::size_t r = 0; r < o.robots; ++r) service.add_robot(spec);
@@ -114,6 +129,11 @@ PhaseResult run_phase(const std::string& name, const Options& o,
   service.flush_sessions();
 
   const fleet::FleetStatus status = service.status();
+  // Final snapshot covers the end-of-stream flush; also the source of the
+  // per-shard ring high-water marks.
+  service.publish_status_now();
+  const fleet::FleetStatusSnapshot snapshot = service.introspection();
+
   PhaseResult result;
   result.name = name;
   result.wall_seconds = wall;
@@ -124,6 +144,11 @@ PhaseResult run_phase(const std::string& name, const Options& o,
   result.p50_alarm_ns = status.ingest_to_alarm_ns.quantile(0.50);
   result.p99_alarm_ns = status.ingest_to_alarm_ns.quantile(0.99);
   result.shards = service.shard_count();
+  for (const fleet::ShardStat& s : snapshot.shards) {
+    result.queue_high_water = std::max(
+        result.queue_high_water, static_cast<std::size_t>(s.queue_high_water));
+  }
+  result.spans = spans.size();
   return result;
 }
 
@@ -160,12 +185,14 @@ void write_json(const Options& o, const std::vector<PhaseResult>& phases,
         "\"time_unit\":\"ns\",\"robots\":%zu,\"shards\":%zu,\"hz\":%.1f,"
         "\"steps\":%llu,\"steps_per_s\":%.1f,\"dropped_packets\":%llu,"
         "\"p50_ingest_to_step_ns\":%.1f,\"p99_ingest_to_step_ns\":%.1f,"
-        "\"p50_ingest_to_alarm_ns\":%.1f,\"p99_ingest_to_alarm_ns\":%.1f}",
+        "\"p50_ingest_to_alarm_ns\":%.1f,\"p99_ingest_to_alarm_ns\":%.1f,"
+        "\"queue_high_water\":%zu,\"trace_sample\":%zu,\"spans\":%llu}",
         p.name.c_str(), static_cast<unsigned long long>(p.steps), ns_per_step,
         ns_per_step, o.robots, p.shards, o.hz,
         static_cast<unsigned long long>(p.steps), steps_per_s,
         static_cast<unsigned long long>(p.dropped), p.p50_step_ns,
-        p.p99_step_ns, p.p50_alarm_ns, p.p99_alarm_ns);
+        p.p99_step_ns, p.p50_alarm_ns, p.p99_alarm_ns, p.queue_high_water,
+        o.trace_sample, static_cast<unsigned long long>(p.spans));
     os << buf;
   }
   os << "]}\n";
@@ -174,7 +201,14 @@ void write_json(const Options& o, const std::vector<PhaseResult>& phases,
 int usage(std::ostream& os, int rc) {
   os << "usage: fleet_throughput [--robots=N] [--shards=N] [--hz=F]\n"
         "           [--iterations=N] [--paced-iterations=N] [--missions=N]\n"
-        "           [--producers=N] [--seed=N] [--json-out=FILE]\n";
+        "           [--producers=N] [--seed=N] [--json-out=FILE]\n"
+        "           [--status-out=FILE] [--status-interval=S]\n"
+        "           [--trace-sample=N]\n"
+        "  --status-out      publish fleet_status.json while each phase runs\n"
+        "                    (the last phase's final snapshot wins)\n"
+        "  --status-interval publish cadence in seconds (default 1.0)\n"
+        "  --trace-sample    emit causal spans for every Nth robot, so the\n"
+        "                    capacity gate runs with tracing tax included\n";
   return rc;
 }
 
@@ -239,6 +273,24 @@ int main(int argc, char** argv) {
       o.seed = *n;
     } else if (value_of("--json-out", &value)) {
       o.json_out = value;
+    } else if (value_of("--status-out", &value)) {
+      o.status_out = value;
+    } else if (value_of("--status-interval", &value)) {
+      const auto f = common::parse_double(value);
+      if (!f || *f <= 0.0) {
+        std::cerr << "fleet_throughput: --status-interval expects a positive "
+                     "number of seconds\n";
+        return 2;
+      }
+      o.status_interval_s = *f;
+    } else if (value_of("--trace-sample", &value)) {
+      const auto n = common::parse_u64(value);
+      if (!n || *n == 0) {
+        std::cerr << "fleet_throughput: --trace-sample expects a positive "
+                     "integer (sample every Nth robot)\n";
+        return 2;
+      }
+      o.trace_sample = static_cast<std::size_t>(*n);
     } else {
       std::cerr << "fleet_throughput: unknown argument " << arg << "\n";
       return usage(std::cerr, 2);
@@ -270,11 +322,15 @@ int main(int argc, char** argv) {
       std::printf(
           "%-14s %7.2fs wall  %9llu steps  %10.0f steps/s  dropped %llu\n"
           "               ingest->step p50<=%.0fns p99<=%.0fns  "
-          "ingest->alarm p50<=%.0fns p99<=%.0fns\n",
+          "ingest->alarm p50<=%.0fns p99<=%.0fns\n"
+          "               ring high-water %zu%s\n",
           p.name.c_str(), p.wall_seconds,
           static_cast<unsigned long long>(p.steps), steps_per_s,
           static_cast<unsigned long long>(p.dropped), p.p50_step_ns,
-          p.p99_step_ns, p.p50_alarm_ns, p.p99_alarm_ns);
+          p.p99_step_ns, p.p50_alarm_ns, p.p99_alarm_ns, p.queue_high_water,
+          o.trace_sample > 0
+              ? ("  spans " + std::to_string(p.spans)).c_str()
+              : "");
     }
 
     if (!o.json_out.empty()) {

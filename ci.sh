@@ -30,6 +30,12 @@
 #   ./ci.sh fleet-smoke # ~10 s mini-fleet through the sharded detection
 #                      # service; per-robot reports must be bit-identical
 #                      # to the serial mission runs (roboads_fleet --parity)
+#   ./ci.sh fleet-watch-smoke # ~10 s mini-fleet with the full introspection
+#                      # plane on (span tracing + live fleet_status.json);
+#                      # parity must still hold, `roboads_fleet top --once
+#                      # --json` must re-emit the published snapshot
+#                      # byte-identically, and its books must balance
+#                      # against the run summary
 #
 # JOBS=<n> overrides the parallelism (default: nproc). FUZZ_SEED=<n> varies
 # the fuzz-smoke campaign seed (default 1; CI can rotate it per run).
@@ -127,6 +133,84 @@ run_fleet_smoke() {
   "$dir/tools/roboads_fleet" --robots=32 --scenario=8 --iterations=120 \
     --missions=4 --parity
   echo "fleet smoke: 32 streamed robots bit-identical to serial missions"
+}
+
+# Fleet introspection smoke (docs/OBSERVABILITY.md "Fleet introspection"):
+# the fleet smoke's bit-parity guarantee, re-proved with every introspection
+# knob on — span sampling, live fleet_status.json publishing, histogram
+# export. Then `roboads_fleet top --once --json` must re-emit the published
+# snapshot byte-for-byte (cmp, not a parsed comparison), the snapshot's
+# books must balance against the run's own JSON summary, the exported span
+# JSONL must validate and decompose causally, and roboads_report must render
+# the histogram file.
+run_fleet_watch_smoke() {
+  local dir="$1"
+  cmake -B "$dir" -S .
+  cmake --build "$dir" -j "$JOBS" --target roboads_fleet_tool roboads_report
+  local out="$dir/fleet-watch-smoke"
+  rm -rf "$out" && mkdir -p "$out"
+  "$dir/tools/roboads_fleet" --robots=24 --scenario=8 --iterations=80 \
+    --missions=3 --parity --json \
+    --trace-sample=4 --trace-out="$out/spans.jsonl" \
+    --status-out="$out/fleet_status.json" --status-interval=0.2 \
+    --hist-out="$out/hist.jsonl" > "$out/summary.json"
+  "$dir/tools/roboads_fleet" top --status="$out/fleet_status.json" \
+    --once --json > "$out/top.json"
+  cmp "$out/top.json" "$out/fleet_status.json"
+  "$dir/tools/roboads_fleet" top --status="$out/fleet_status.json" --once \
+    > "$out/top.txt"
+  grep -q "shard" "$out/top.txt"
+  "$dir/tools/roboads_report" "$out/hist.jsonl" > /dev/null
+  python3 - "$out" <<'PY'
+import json, sys
+
+out = sys.argv[1]
+summary = json.load(open(out + "/summary.json"))
+status = json.load(open(out + "/fleet_status.json"))
+
+assert summary["parity"] is True and summary["parity_failures"] == 0, summary
+assert summary["robots"] == 24 and summary["steps"] == 24 * 80, summary
+
+# The published snapshot's books balance against the run summary.
+assert status["robots"] == summary["robots"]
+assert status["steps"] == summary["steps"]
+assert status["trace_sample"] == 4
+assert status["spans"] == summary["spans"] > 0
+assert sum(s["steps"] for s in status["shards"]) == status["steps"]
+assert status["sensor_alarms"] + status["actuator_alarms"] > 0
+assert len(status["alarms"]) > 0
+
+# The fleet latency histogram really aggregates the steps: bucket counts
+# sum to the step count, and the per-shard rows partition it.
+fleet_hist = status["ingest_to_step_ns"]
+assert fleet_hist["count"] == status["steps"]
+assert sum(fleet_hist["buckets"]) == fleet_hist["count"]
+by_shard = [s["ingest_to_step_ns"]["count"] for s in status["shards"]]
+assert sum(by_shard) == fleet_hist["count"]
+
+# Spans: 6 traced robots (id % 4 == 0) x 80 iterations, each causally
+# consistent (stages non-negative, totals dominate the step).
+spans = [json.loads(line) for line in open(out + "/spans.jsonl")
+         if '"event":"span"' in line]
+assert len(spans) == summary["spans"] == 6 * 80, len(spans)
+for s in spans:
+    assert s["robot"] % 4 == 0, s
+    assert s["packets"] > 0 and s["ingest_ns"] > 0, s
+    for stage in ("ring_ns", "reassembly_ns", "step_wait_ns", "step_ns",
+                  "publish_ns", "total_ns"):
+        assert s[stage] >= 0, s
+    assert s["total_ns"] >= s["step_ns"], s
+
+# The histogram export round-trips the same distribution the status holds.
+hists = {}
+for line in open(out + "/hist.jsonl"):
+    record = json.loads(line)
+    hists[record["name"]] = record["histogram"]
+assert hists["fleet.ingest_to_step_ns"] == fleet_hist
+print(f"fleet watch smoke: parity held with tracing+status on; "
+      f"{len(spans)} spans; top round-tripped byte-identically")
+PY
+  echo "fleet watch smoke: introspection plane verified"
 }
 
 # Scenario-DSL coverage fuzz (docs/SCENARIOS.md): a time-boxed (~30 s)
@@ -271,6 +355,7 @@ case "$MODE" in
   shard-smoke) run_shard_smoke build ;;
   watch-smoke) run_watch_smoke build ;;
   fleet-smoke) run_fleet_smoke build ;;
+  fleet-watch-smoke) run_fleet_watch_smoke build ;;
   all)
     run_pass build
     run_obs_smoke build
@@ -281,10 +366,11 @@ case "$MODE" in
     run_shard_smoke build
     run_watch_smoke build
     run_fleet_smoke build
+    run_fleet_watch_smoke build
     run_pass build-tsan -DRoboADS_SANITIZE=thread
     run_pass build-ubsan -DRoboADS_SANITIZE=undefined
     ;;
-  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|watch-smoke|fleet-smoke|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [normal|tsan|ubsan|bench|fuzz-smoke|shard-smoke|watch-smoke|fleet-smoke|fleet-watch-smoke|all]" >&2; exit 2 ;;
 esac
 
 echo "ci.sh: all requested passes green"

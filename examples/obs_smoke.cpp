@@ -19,8 +19,10 @@
 // only when all of that holds.
 //
 //   ./build/examples/obs_smoke [trace.jsonl] [metrics.jsonl]
-//     default artifact paths: obs_smoke_trace.jsonl, obs_smoke_metrics.jsonl
+//     default artifact paths: obs_smoke_{trace,metrics}.jsonl next to the
+//     binary (in the build tree), so a bare run never litters the checkout
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -58,9 +60,15 @@ attacks::Scenario scenario_with_numeric_fault(const KheperaPlatform& platform) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace_path = argc > 1 ? argv[1] : "obs_smoke_trace.jsonl";
+  // Default artifacts land next to the binary (the build tree), never in
+  // whatever directory the smoke happened to be launched from — a bare
+  // `./build/examples/obs_smoke` run must not litter the source checkout.
+  const std::filesystem::path self_dir =
+      std::filesystem::path(argv[0]).parent_path();
+  const std::string trace_path =
+      argc > 1 ? argv[1] : (self_dir / "obs_smoke_trace.jsonl").string();
   const std::string metrics_path =
-      argc > 2 ? argv[2] : "obs_smoke_metrics.jsonl";
+      argc > 2 ? argv[2] : (self_dir / "obs_smoke_metrics.jsonl").string();
 
   obs::ObsConfig obs_config;
   obs_config.metrics = true;

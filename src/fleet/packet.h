@@ -21,6 +21,10 @@ struct FleetPacket {
   bus::Packet packet;
   // Steady-clock nanoseconds stamped by FleetService::submit (0 until then).
   std::uint64_t ingest_ns = 0;
+  // Stamped when the pump pops the packet off the shard ring — but only for
+  // robots sampled by the span tracer (0 otherwise, keeping the untraced
+  // hot path free of extra clock reads). Feeds obs::SpanStamps.
+  std::uint64_t dequeue_ns = 0;
 };
 
 // Monotonic nanosecond clock shared by submit-side stamping and the

@@ -21,15 +21,31 @@ void brief_pause() {
   std::this_thread::sleep_for(std::chrono::microseconds(100));
 }
 
+double unix_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 FleetService::ShardState::ShardState(const FleetConfig& config)
     : queue(config.queue_capacity),
       ingest_to_step(obs::default_latency_bounds_ns()),
-      ingest_to_alarm(obs::default_latency_bounds_ns()) {}
+      ingest_to_alarm(obs::default_latency_bounds_ns()) {
+  alarm_ring.resize(config.introspect.alarm_feed);
+}
 
 FleetService::FleetService(FleetConfig config)
     : config_(std::move(config)), pool_(pool_size_for(resolve_shards(config_.shards))) {
+  const FleetIntrospectConfig& ic = config_.introspect;
+  ROBOADS_CHECK(ic.ewma_alpha > 0.0 && ic.ewma_alpha <= 1.0,
+                "introspection ewma_alpha must be in (0, 1]");
+  if (ic.trace_sample > 0) {
+    ROBOADS_CHECK(ic.span_sink != nullptr,
+                  "trace_sample needs a span sink to emit into");
+    span_sample_ = ic.trace_sample;
+  }
   const std::size_t shards = resolve_shards(config_.shards);
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -66,16 +82,35 @@ void FleetService::attach_sink(DetectorSession& session, std::uint64_t robot) {
     if (report.quarantined_modes > 0) {
       shard.quarantine_iterations.fetch_add(1, std::memory_order_relaxed);
     }
+    double latency = 0.0;
     if (frame_ingest_ns > 0) {
       const std::uint64_t now = steady_now_ns();
-      const double latency =
-          now > frame_ingest_ns ? static_cast<double>(now - frame_ingest_ns)
-                                : 0.0;
+      latency = now > frame_ingest_ns
+                    ? static_cast<double>(now - frame_ingest_ns)
+                    : 0.0;
       shard.ingest_to_step.record(latency);
       if (m_ingest_to_step_ != nullptr) m_ingest_to_step_->record(latency);
       if (sensor_alarm || actuator_alarm) {
         shard.ingest_to_alarm.record(latency);
       }
+      // Per-robot EWMA step latency: this scratch slot is only ever
+      // written by the worker stepping the robot's shard and read between
+      // passes, so a plain double suffices.
+      double& ewma = robot_scratch_[robot].ewma_latency_ns;
+      ewma = ewma == 0.0
+                 ? latency
+                 : ewma + config_.introspect.ewma_alpha * (latency - ewma);
+    }
+    if ((sensor_alarm || actuator_alarm) && !shard.alarm_ring.empty()) {
+      FleetAlarm& alarm = shard.alarm_ring[shard.alarm_next];
+      alarm.unix_time = unix_now_s();
+      alarm.robot = robot;
+      alarm.k = static_cast<std::uint64_t>(report.iteration);
+      alarm.sensor = sensor_alarm;
+      alarm.actuator = actuator_alarm;
+      alarm.latency_ns = latency;
+      shard.alarm_next = (shard.alarm_next + 1) % shard.alarm_ring.size();
+      ++shard.alarms_total;
     }
     if (config_.on_report) config_.on_report(robot, report, frame_ingest_ns);
   });
@@ -88,11 +123,20 @@ std::uint64_t FleetService::add_robot(std::shared_ptr<const SessionSpec> spec) {
   const std::size_t shard = static_cast<std::size_t>(robot) % shards_.size();
   auto session = std::make_unique<DetectorSession>(spec, config_.session);
   attach_sink(*session, robot);
+  configure_tracing(*session, robot);
   shards_[shard]->sessions.emplace(robot, std::move(session));
   shards_[shard]->session_count.fetch_add(1, std::memory_order_relaxed);
   routing_.emplace_back(static_cast<std::uint32_t>(shard));
   specs_.push_back(std::move(spec));
+  robot_scratch_.emplace_back();
   return robot;
+}
+
+void FleetService::configure_tracing(DetectorSession& session,
+                                     std::uint64_t robot) {
+  if (span_sample_ != 0 && robot % span_sample_ == 0) {
+    session.enable_span_tracing(robot, config_.introspect.span_sink);
+  }
 }
 
 std::size_t FleetService::shard_of(std::uint64_t robot) const {
@@ -114,6 +158,11 @@ void FleetService::submit(FleetPacket packet) {
     shard.dropped.fetch_add(dropped, std::memory_order_relaxed);
     if (m_dropped_ != nullptr) m_dropped_->increment(dropped);
   }
+  const std::size_t depth = shard.queue.size_approx();
+  std::size_t high = shard.queue_high_water.load(std::memory_order_relaxed);
+  while (depth > high && !shard.queue_high_water.compare_exchange_weak(
+                             high, depth, std::memory_order_relaxed)) {
+  }
 }
 
 std::size_t FleetService::drain_shard(std::size_t shard_index) {
@@ -122,6 +171,9 @@ std::size_t FleetService::drain_shard(std::size_t shard_index) {
   FleetPacket packet;
   while (processed < config_.drain_batch && shard.queue.try_pop(packet)) {
     ++processed;
+    if (span_sample_ != 0 && packet.robot % span_sample_ == 0) {
+      packet.dequeue_ns = steady_now_ns();
+    }
     const std::size_t owner =
         routing_[packet.robot].load(std::memory_order_relaxed);
     if (owner != shard_index) {
@@ -184,6 +236,7 @@ void FleetService::apply_migrations() {
                                                      config_.session);
     rebuilt->restore(snapshot);
     attach_sink(*rebuilt, req.robot);
+    configure_tracing(*rebuilt, req.robot);
     from.sessions.erase(it);
     from.session_count.fetch_sub(1, std::memory_order_relaxed);
     ShardState& to = *shards_[req.target];
@@ -208,6 +261,9 @@ void FleetService::migrate(std::uint64_t robot, std::size_t target_shard) {
 void FleetService::pump_loop() {
   while (!stop_.load(std::memory_order_acquire)) {
     if (pump_once() == 0) brief_pause();
+    // Between passes is the only moment session state is readable without
+    // racing the shard workers — the publish window.
+    maybe_publish();
   }
 }
 
@@ -305,6 +361,184 @@ FleetStatus FleetService::status() const {
   status.ingest_to_step_ns = obs::merge_snapshots(step_parts);
   status.ingest_to_alarm_ns = obs::merge_snapshots(alarm_parts);
   return status;
+}
+
+FleetStatusSnapshot FleetService::build_introspection() {
+  const FleetIntrospectConfig& ic = config_.introspect;
+  IntrospectState& st = introspect_state_;
+  st.prev_shard_steps.resize(shards_.size(), 0);
+  st.shard_ewma_rate.resize(shards_.size(), 0.0);
+  st.shard_ewma_depth.resize(shards_.size(), 0.0);
+  st.prev_robot_steps.resize(routing_.size(), 0);
+  st.robot_ewma_rate.resize(routing_.size(), 0.0);
+
+  const std::uint64_t now_ns = steady_now_ns();
+  const double dt =
+      st.last_build_ns == 0
+          ? 0.0
+          : static_cast<double>(now_ns - st.last_build_ns) * 1e-9;
+  // The first build has no step baseline — record one, update no rates.
+  const bool update_rates = dt > 0.0;
+  const double alpha = ic.ewma_alpha;
+
+  FleetStatusSnapshot out;
+  out.unix_time = unix_now_s();
+  out.seq = ++st.seq;
+  out.robots = routing_.size();
+  out.unknown_robot_packets = unknown_robot_.load(std::memory_order_relaxed);
+  out.trace_sample = span_sample_;
+  out.spans = ic.span_sink != nullptr ? ic.span_sink->size() : 0;
+
+  std::vector<RobotStat> robots;
+  robots.reserve(routing_.size());
+  std::vector<FleetAlarm> alarms;
+  std::vector<obs::HistogramSnapshot> step_parts, alarm_parts;
+  step_parts.reserve(shards_.size());
+  alarm_parts.reserve(shards_.size());
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardState& shard = *shards_[s];
+    ShardStat row;
+    row.shard = s;
+    row.sessions = shard.session_count.load(std::memory_order_relaxed);
+    row.steps = shard.steps.load(std::memory_order_relaxed);
+    row.sensor_alarms = shard.sensor_alarms.load(std::memory_order_relaxed);
+    row.actuator_alarms =
+        shard.actuator_alarms.load(std::memory_order_relaxed);
+    row.quarantine_iterations =
+        shard.quarantine_iterations.load(std::memory_order_relaxed);
+    row.dropped_packets = shard.dropped.load(std::memory_order_relaxed);
+    row.forwarded_packets = shard.forwarded.load(std::memory_order_relaxed);
+    row.queue_depth = shard.queue.size_approx();
+    row.queue_high_water =
+        shard.queue_high_water.load(std::memory_order_relaxed);
+    row.ingest_to_step_ns = shard.ingest_to_step.snapshot();
+    row.ingest_to_alarm_ns = shard.ingest_to_alarm.snapshot();
+
+    std::uint64_t pending = 0;
+    for (const auto& [robot, session] : shard.sessions) {
+      const SessionCounters& c = session->counters();
+      RobotStat r;
+      r.robot = robot;
+      r.shard = s;
+      r.steps = c.steps;
+      r.sensor_alarms = c.sensor_alarms;
+      r.actuator_alarms = c.actuator_alarms;
+      r.late_packets = c.late_packets;
+      r.duplicate_packets = c.duplicate_packets;
+      r.forced_evictions = c.forced_evictions;
+      r.masked_steps = c.masked_steps;
+      r.command_substituted = c.command_substituted;
+      r.reorder_pending = session->pending_frames();
+      r.ewma_step_latency_ns = robot_scratch_[robot].ewma_latency_ns;
+      r.traced = session->span_tracing();
+      pending += r.reorder_pending;
+      if (update_rates) {
+        const double inst =
+            static_cast<double>(c.steps - st.prev_robot_steps[robot]) / dt;
+        double& ewma = st.robot_ewma_rate[robot];
+        ewma += alpha * (inst - ewma);
+      }
+      st.prev_robot_steps[robot] = c.steps;
+      r.ewma_steps_per_s = st.robot_ewma_rate[robot];
+      robots.push_back(r);
+    }
+    row.reorder_pending = pending;
+    if (update_rates) {
+      const double inst =
+          static_cast<double>(row.steps - st.prev_shard_steps[s]) / dt;
+      st.shard_ewma_rate[s] += alpha * (inst - st.shard_ewma_rate[s]);
+      st.shard_ewma_depth[s] +=
+          alpha * (static_cast<double>(row.queue_depth) -
+                   st.shard_ewma_depth[s]);
+    }
+    st.prev_shard_steps[s] = row.steps;
+    row.ewma_steps_per_s = st.shard_ewma_rate[s];
+    row.ewma_queue_depth = st.shard_ewma_depth[s];
+
+    // Copy the shard's alarm ring oldest → newest.
+    const std::size_t ring = shard.alarm_ring.size();
+    if (ring > 0) {
+      const std::size_t count = static_cast<std::size_t>(
+          std::min<std::uint64_t>(shard.alarms_total, ring));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t idx = shard.alarms_total >= ring
+                                    ? (shard.alarm_next + i) % ring
+                                    : i;
+        alarms.push_back(shard.alarm_ring[idx]);
+      }
+    }
+
+    out.steps += row.steps;
+    out.sensor_alarms += row.sensor_alarms;
+    out.actuator_alarms += row.actuator_alarms;
+    out.quarantine_iterations += row.quarantine_iterations;
+    out.dropped_packets += row.dropped_packets;
+    out.forwarded_packets += row.forwarded_packets;
+    step_parts.push_back(row.ingest_to_step_ns);
+    alarm_parts.push_back(row.ingest_to_alarm_ns);
+    out.shards.push_back(std::move(row));
+  }
+  st.last_build_ns = now_ns;
+  out.ingest_to_step_ns = obs::merge_snapshots(step_parts);
+  out.ingest_to_alarm_ns = obs::merge_snapshots(alarm_parts);
+
+  out.hints = rebalance_hints(out.shards, robots, ic.hot_shard_ratio);
+
+  // Hot-robot ranking: EWMA rate, then EWMA latency, then lifetime steps;
+  // robot id as the deterministic final tiebreak.
+  std::sort(robots.begin(), robots.end(),
+            [](const RobotStat& a, const RobotStat& b) {
+              if (a.ewma_steps_per_s != b.ewma_steps_per_s) {
+                return a.ewma_steps_per_s > b.ewma_steps_per_s;
+              }
+              if (a.ewma_step_latency_ns != b.ewma_step_latency_ns) {
+                return a.ewma_step_latency_ns > b.ewma_step_latency_ns;
+              }
+              if (a.steps != b.steps) return a.steps > b.steps;
+              return a.robot < b.robot;
+            });
+  if (robots.size() > ic.top_robots) robots.resize(ic.top_robots);
+  out.hot_robots = std::move(robots);
+
+  std::sort(alarms.begin(), alarms.end(),
+            [](const FleetAlarm& a, const FleetAlarm& b) {
+              if (a.unix_time != b.unix_time) return a.unix_time < b.unix_time;
+              return a.robot < b.robot;
+            });
+  if (alarms.size() > ic.alarm_feed) {
+    alarms.erase(alarms.begin(),
+                 alarms.end() - static_cast<std::ptrdiff_t>(ic.alarm_feed));
+  }
+  out.alarms = std::move(alarms);
+  return out;
+}
+
+void FleetService::maybe_publish() {
+  const FleetIntrospectConfig& ic = config_.introspect;
+  if (ic.status_path.empty()) return;
+  if (ic.status_interval_s > 0.0 && introspect_state_.last_build_ns != 0) {
+    const double elapsed =
+        static_cast<double>(steady_now_ns() -
+                            introspect_state_.last_build_ns) *
+        1e-9;
+    if (elapsed < ic.status_interval_s) return;
+  }
+  write_fleet_status_file(ic.status_path, build_introspection());
+}
+
+FleetStatusSnapshot FleetService::introspection() {
+  ROBOADS_CHECK(!running_,
+                "introspection requires a stopped pump (the running pump "
+                "builds its own snapshots between passes)");
+  return build_introspection();
+}
+
+void FleetService::publish_status_now() {
+  ROBOADS_CHECK(!running_, "publish_status_now requires a stopped pump");
+  if (config_.introspect.status_path.empty()) return;
+  write_fleet_status_file(config_.introspect.status_path,
+                          build_introspection());
 }
 
 DetectorSession& FleetService::session_ref(std::uint64_t robot) const {

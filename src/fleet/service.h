@@ -45,6 +45,7 @@
 
 #include "common/mpsc_queue.h"
 #include "common/thread_pool.h"
+#include "fleet/introspect.h"
 #include "fleet/session.h"
 #include "obs/metrics.h"
 
@@ -68,6 +69,9 @@ struct FleetConfig {
   std::function<void(std::uint64_t robot, const core::DetectionReport&,
                      std::uint64_t ingest_ns)>
       on_report;
+  // Introspection plane: span sampling, fleet_status.json publishing, hot
+  // rankings (fleet/introspect.h). Defaults entirely off.
+  FleetIntrospectConfig introspect;
 };
 
 struct ShardStatus {
@@ -153,6 +157,18 @@ class FleetService {
   const SessionCounters& session_counters(std::uint64_t robot) const;
   std::uint64_t session_next_iteration(std::uint64_t robot) const;
 
+  // Builds the full introspection snapshot — shard rows with live
+  // occupancy, hot-robot rankings, the rolling alarm feed, rebalance
+  // hints — and advances the EWMA publisher state. Quiescent-only (the
+  // running pump builds its own between passes). Also the body of the
+  // periodic fleet_status.json publish.
+  FleetStatusSnapshot introspection();
+
+  // Publishes introspection() to config.introspect.status_path now (no-op
+  // when no status_path is configured). Quiescent-only; the tools call it
+  // once after drain/stop/flush so the final snapshot reflects every step.
+  void publish_status_now();
+
  private:
   struct ShardState {
     explicit ShardState(const FleetConfig& config);
@@ -169,8 +185,16 @@ class FleetService {
     std::atomic<std::uint64_t> quarantine_iterations{0};
     std::atomic<std::uint64_t> dropped{0};
     std::atomic<std::uint64_t> forwarded{0};
+    // Deepest the ring has ever been (CAS-max in submit).
+    std::atomic<std::size_t> queue_high_water{0};
     obs::Histogram ingest_to_step;   // ns
     obs::Histogram ingest_to_alarm;  // ns
+    // Rolling alarm ring, owned by the pump worker draining this shard
+    // (written inside the report sink, read only between passes — the same
+    // index-owned-slot discipline as the session tables).
+    std::vector<FleetAlarm> alarm_ring;
+    std::size_t alarm_next = 0;
+    std::uint64_t alarms_total = 0;
   };
 
   struct MigrationRequest {
@@ -178,10 +202,32 @@ class FleetService {
     std::size_t target = 0;
   };
 
+  // Per-robot introspection scratch, stable-address like routing_. The
+  // EWMA latency is written only by the worker stepping the robot's shard
+  // and read only between passes.
+  struct RobotScratch {
+    double ewma_latency_ns = 0.0;
+  };
+
+  // EWMA publisher state, owned by whichever thread builds snapshots (the
+  // pump thread while running, the caller's thread when quiescent).
+  struct IntrospectState {
+    std::uint64_t seq = 0;
+    std::uint64_t last_build_ns = 0;
+    std::vector<std::uint64_t> prev_shard_steps;
+    std::vector<double> shard_ewma_rate;
+    std::vector<double> shard_ewma_depth;
+    std::vector<std::uint64_t> prev_robot_steps;
+    std::vector<double> robot_ewma_rate;
+  };
+
   void attach_sink(DetectorSession& session, std::uint64_t robot);
+  void configure_tracing(DetectorSession& session, std::uint64_t robot);
   std::size_t drain_shard(std::size_t shard);
   void apply_migrations();
   void pump_loop();
+  FleetStatusSnapshot build_introspection();
+  void maybe_publish();
   DetectorSession& session_ref(std::uint64_t robot) const;
 
   FleetConfig config_;
@@ -190,7 +236,13 @@ class FleetService {
   // (stable addresses for lock-free readers), updated by migration.
   std::deque<std::atomic<std::uint32_t>> routing_;
   std::vector<std::shared_ptr<const SessionSpec>> specs_;  // by robot id
+  std::deque<RobotScratch> robot_scratch_;                 // by robot id
   common::ThreadPool pool_;
+
+  // trace_sample when a span sink is wired, else 0 (one branch per packet
+  // on the drain path decides whether to stamp the dequeue clock).
+  std::size_t span_sample_ = 0;
+  IntrospectState introspect_state_;
 
   std::mutex migrations_mu_;
   std::vector<MigrationRequest> migrations_;

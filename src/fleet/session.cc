@@ -43,6 +43,7 @@ DetectorSession::PendingFrame& DetectorSession::frame_at(std::uint64_t k) {
     f.z = last_z_;
     std::fill(f.have.begin(), f.have.end(), false);
     f.max_ingest_ns = 0;
+    if (span_sink_ != nullptr) f.span.reset();
     ++pending_count_;
   }
   return f;
@@ -64,7 +65,7 @@ void DetectorSession::ingest(const FleetPacket& packet) {
   // bounded memory and latency — never dropping the *new* data.
   while (k >= base_k_ + frames_.size()) {
     ++counters_.forced_evictions;
-    step_frame(base_k_);
+    step_frame(base_k_, /*forced=*/true);
   }
 
   PendingFrame& f = frame_at(k);
@@ -89,6 +90,9 @@ void DetectorSession::ingest(const FleetPacket& packet) {
     f.have[i] = true;
   }
   f.max_ingest_ns = std::max(f.max_ingest_ns, packet.ingest_ns);
+  if (span_sink_ != nullptr) {
+    f.span.note_packet(packet.ingest_ns, packet.dequeue_ns);
+  }
   cascade();
 }
 
@@ -103,11 +107,16 @@ void DetectorSession::cascade() {
   }
 }
 
-void DetectorSession::step_frame(std::uint64_t k) {
+void DetectorSession::step_frame(std::uint64_t k, bool forced) {
   ROBOADS_CHECK_EQ(k, base_k_, "frames step strictly in order");
   PendingFrame& f = frames_[k % frames_.size()];
 
   const bool dark = !f.active;  // nothing at all arrived for k
+  const bool traced = span_sink_ != nullptr;
+  // Spans are copied out before the slot recycles; a dark frame never
+  // activated its slot, so its span is all zero stamps by definition.
+  obs::SpanStamps span;
+  if (traced && !dark) span = f.span;
   const bool has_u = f.active && f.has_u;
   if (!has_u) ++counters_.command_substituted;
   const Vector& u = has_u ? f.u : last_u_;
@@ -124,7 +133,9 @@ void DetectorSession::step_frame(std::uint64_t k) {
     ++counters_.masked_steps;
   }
 
+  if (traced) span.step_start_ns = steady_now_ns();
   const core::DetectionReport report = detector_.step(u, z, mask);
+  if (traced) span.step_end_ns = steady_now_ns();
   ++counters_.steps;
   if (report.decision.sensor_alarm) ++counters_.sensor_alarms;
   if (report.decision.actuator_alarm) ++counters_.actuator_alarms;
@@ -148,6 +159,15 @@ void DetectorSession::step_frame(std::uint64_t k) {
   }
   ++base_k_;
   if (sink_) sink_(report, frame_ingest);
+  if (traced) {
+    span.publish_ns = steady_now_ns();
+    obs::SpanOutcome outcome;
+    outcome.sensor_alarm = report.decision.sensor_alarm;
+    outcome.actuator_alarm = report.decision.actuator_alarm;
+    outcome.masked = !complete;
+    outcome.forced = forced;
+    span_sink_->emit(obs::make_span_event(span_robot_, k, span, outcome));
+  }
 }
 
 std::size_t DetectorSession::flush() {

@@ -38,6 +38,8 @@
 #include "core/roboads.h"
 #include "fleet/packet.h"
 #include "obs/flight_recorder.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace roboads::fleet {
 
@@ -100,6 +102,19 @@ class DetectorSession {
 
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
 
+  // Turns on causal span emission for this session: every completed step
+  // materializes one pinned-schema "span" TraceEvent into `sink`
+  // (obs/span.h). Tracing is observably pure — it stamps clocks and emits
+  // events, never touching detector state, counters, or report content —
+  // so a traced session's DetectionReports stay bit-identical to an
+  // untraced one's (the --parity guarantee). Pass nullptr to disable.
+  void enable_span_tracing(std::uint64_t robot, obs::TraceSink* sink) {
+    span_robot_ = robot;
+    span_sink_ = sink;
+  }
+
+  bool span_tracing() const { return span_sink_ != nullptr; }
+
   // Feeds one packet. May trigger zero or more detector steps (a completed
   // frame cascades into any already-complete successors). Never blocks.
   void ingest(const FleetPacket& packet);
@@ -110,6 +125,9 @@ class DetectorSession {
 
   // No frames pending (safe to migrate without losing buffered packets).
   bool idle() const { return pending_count_ == 0; }
+
+  // Reorder-window occupancy: frames currently awaiting reassembly.
+  std::size_t pending_frames() const { return pending_count_; }
 
   // Next iteration the session will step (1-based, like mission records).
   std::uint64_t next_iteration() const { return base_k_; }
@@ -130,10 +148,11 @@ class DetectorSession {
     Vector z;
     std::vector<bool> have;       // per suite sensor
     std::uint64_t max_ingest_ns = 0;
+    obs::SpanStamps span;         // only maintained when span_tracing()
   };
 
   PendingFrame& frame_at(std::uint64_t k);
-  void step_frame(std::uint64_t k);
+  void step_frame(std::uint64_t k, bool forced = false);
   void cascade();
 
   std::shared_ptr<const SessionSpec> spec_;
@@ -150,6 +169,8 @@ class DetectorSession {
   Vector last_z_;                     // last delivered reading per block
   SessionCounters counters_;
   ReportSink sink_;
+  std::uint64_t span_robot_ = 0;       // id carried on emitted spans
+  obs::TraceSink* span_sink_ = nullptr;  // null = tracing off
 };
 
 }  // namespace roboads::fleet

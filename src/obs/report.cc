@@ -19,6 +19,42 @@ bool has_prefix(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+// The shared strict-read contract behind both offline formats: any
+// condition that would render as a silently empty report throws instead.
+std::vector<std::string> read_strict_lines(const std::string& path,
+                                           const std::string& label) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw CheckError(path + ": cannot open " + label + " file (missing or "
+                     "unreadable)");
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    throw CheckError(path + ": " + label + " file is empty — the producing "
+                     "run wrote nothing (did it finish?)");
+  }
+  if (text.back() != '\n') {
+    throw CheckError(path + ": " + label + " file is truncated (final line "
+                     "has no newline — the producing run was cut off "
+                     "mid-write)");
+  }
+  std::vector<std::string> lines;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    lines.push_back(text.substr(offset, newline - offset));
+    offset = newline + 1;
+    if (lines.back().empty()) {
+      throw CheckError(path + " line " + std::to_string(lines.size()) +
+                       ": blank line in " + label + " file (truncated or "
+                       "corrupt)");
+    }
+  }
+  return lines;
+}
+
 }  // namespace
 
 std::string format_duration_ns(double ns) {
@@ -127,38 +163,11 @@ std::string render_report(const std::vector<MetricSample>& samples) {
 }
 
 std::vector<MetricSample> load_metrics_jsonl(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    throw CheckError(path + ": cannot open metrics file (missing or "
-                     "unreadable)");
-  }
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  const std::string text = buffer.str();
-  if (text.empty()) {
-    throw CheckError(path + ": metrics file is empty — the producing run "
-                     "wrote no metrics (was --metrics-out set and the run "
-                     "finished?)");
-  }
-  if (text.back() != '\n') {
-    throw CheckError(path + ": metrics file is truncated (final line has "
-                     "no newline — the producing run was cut off "
-                     "mid-write)");
-  }
-
+  const std::vector<std::string> lines = read_strict_lines(path, "metrics");
   std::vector<MetricSample> samples;
   std::size_t line_no = 0;
-  std::size_t offset = 0;
-  while (offset < text.size()) {
-    const std::size_t newline = text.find('\n', offset);
-    const std::string line = text.substr(offset, newline - offset);
-    offset = newline + 1;
+  for (const std::string& line : lines) {
     ++line_no;
-    if (line.empty()) {
-      throw CheckError(path + " line " + std::to_string(line_no) +
-                       ": blank line in metrics file (truncated or "
-                       "corrupt)");
-    }
     const std::string context = path + " line " + std::to_string(line_no);
     json::Fields f(json::parse_object_line(line, context), context);
     MetricSample s;
@@ -189,6 +198,82 @@ std::vector<MetricSample> load_metrics_jsonl(const std::string& path) {
     samples.push_back(std::move(s));
   }
   return samples;
+}
+
+void write_named_histogram(std::ostream& os, const std::string& name,
+                           const HistogramSnapshot& histogram) {
+  os << '{';
+  json::write_field_key(os, "name", /*first=*/true);
+  json::write_escaped(os, name);
+  json::write_field_key(os, "histogram");
+  write_histogram(os, histogram);
+  os << '}';
+}
+
+std::vector<NamedHistogram> load_histograms_jsonl(const std::string& path) {
+  const std::vector<std::string> lines = read_strict_lines(path, "histogram");
+  std::vector<NamedHistogram> histograms;
+  std::size_t line_no = 0;
+  for (const std::string& line : lines) {
+    ++line_no;
+    const std::string context = path + " line " + std::to_string(line_no);
+    json::Fields f(json::parse_object_line(line, context), context);
+    NamedHistogram h;
+    if (f.has("histogram")) {
+      h.name = f.string("name");
+      h.histogram = parse_histogram(
+          json::Fields(f.at("histogram").members, context));
+    } else if (f.has("bounds")) {
+      // A bare write_histogram object; name it by position.
+      h.name = "histogram[" + std::to_string(line_no) + "]";
+      h.histogram = parse_histogram(f);
+    } else {
+      throw CheckError(context + ": not a histogram-snapshot line (expected "
+                       "a 'histogram' or 'bounds' key)");
+    }
+    histograms.push_back(std::move(h));
+  }
+  return histograms;
+}
+
+std::string render_histograms(const std::vector<NamedHistogram>& histograms) {
+  std::ostringstream os;
+  os << "== roboads_report (histograms) "
+        "================================\n";
+  if (histograms.empty()) os << "  (none recorded)\n";
+  for (const NamedHistogram& h : histograms) {
+    const HistogramSnapshot& s = h.histogram;
+    const bool ns = h.name.size() >= 3 &&
+                    h.name.compare(h.name.size() - 3, 3, "_ns") == 0;
+    const auto fmt = [&](double v) {
+      if (ns) return fmt_ns(v);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", v);
+      return std::string(buf);
+    };
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-34s n=%-8llu mean=%-9s p50<=%-9s p99<=%-9s "
+                  "max=%-9s ci95=±%s\n",
+                  h.name.c_str(), static_cast<unsigned long long>(s.count),
+                  fmt(s.mean()).c_str(), fmt(s.quantile(0.50)).c_str(),
+                  fmt(s.quantile(0.99)).c_str(), fmt(s.max).c_str(),
+                  fmt(s.ci95_half_width()).c_str());
+    os << line;
+  }
+  os << "===============================================================\n";
+  return os.str();
+}
+
+std::string render_report_file(const std::string& path) {
+  const std::vector<std::string> lines = read_strict_lines(path, "report");
+  const std::string context = path + " line 1";
+  json::Fields first(json::parse_object_line(lines.front(), context),
+                     context);
+  if (first.has("histogram") || first.has("bounds")) {
+    return render_histograms(load_histograms_jsonl(path));
+  }
+  return render_report(load_metrics_jsonl(path));
 }
 
 }  // namespace roboads::obs

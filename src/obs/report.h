@@ -29,6 +29,34 @@ std::string render_report(const std::vector<MetricSample>& samples);
 // holds an unparseable/alien line (diagnostics carry the line number).
 std::vector<MetricSample> load_metrics_jsonl(const std::string& path);
 
+// A labelled exact histogram snapshot — the fleet tools' second offline
+// format: one {"name":"...","histogram":{...}} object per line, where the
+// embedded object is write_histogram's (so merged fleet distributions
+// round-trip bit-exactly through the file).
+struct NamedHistogram {
+  std::string name;
+  HistogramSnapshot histogram;
+};
+
+// Writes one named-histogram JSONL line (no trailing newline).
+void write_named_histogram(std::ostream& os, const std::string& name,
+                           const HistogramSnapshot& histogram);
+
+// Loads a histogram-snapshot JSONL file: named lines as written above, or
+// bare write_histogram objects (named "histogram[N]" by position). Same
+// loud-failure contract as load_metrics_jsonl.
+std::vector<NamedHistogram> load_histograms_jsonl(const std::string& path);
+
+// Renders histogram snapshots as a table (n, mean, p50, p99, max, ±ci95);
+// names ending in "_ns" format as human durations.
+std::string render_histograms(const std::vector<NamedHistogram>& histograms);
+
+// The `roboads_report <file>` entry: sniffs the first line to decide
+// between a metrics registry dump ("metric" key) and histogram-snapshot
+// JSONL ("histogram"/"bounds" key), then renders accordingly. Loud on
+// missing/empty/truncated files either way.
+std::string render_report_file(const std::string& path);
+
 // "17.40us"-style human duration for a nanosecond quantity; shared by the
 // report and the live `roboads_shard watch` status renderer.
 std::string format_duration_ns(double ns);

@@ -1,0 +1,56 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace roboads::obs {
+namespace {
+
+// Saturating same-clock difference: stages stamped out of order (or never
+// stamped, leaving 0) yield 0, not a wrapped uint64.
+std::int64_t stage_ns(std::uint64_t from, std::uint64_t to) {
+  if (from == 0 || to == 0 || to < from) return 0;
+  return static_cast<std::int64_t>(to - from);
+}
+
+}  // namespace
+
+void SpanStamps::note_packet(std::uint64_t ingest_ns,
+                             std::uint64_t dequeue_ns) {
+  if (ingest_ns != 0) {
+    if (first_ingest_ns == 0) first_ingest_ns = ingest_ns;
+    first_ingest_ns = std::min(first_ingest_ns, ingest_ns);
+    last_ingest_ns = std::max(last_ingest_ns, ingest_ns);
+  }
+  if (dequeue_ns != 0) {
+    if (first_dequeue_ns == 0) first_dequeue_ns = dequeue_ns;
+    first_dequeue_ns = std::min(first_dequeue_ns, dequeue_ns);
+    last_dequeue_ns = std::max(last_dequeue_ns, dequeue_ns);
+  }
+  ++packets;
+}
+
+TraceEvent make_span_event(std::uint64_t robot, std::uint64_t k,
+                           const SpanStamps& stamps,
+                           const SpanOutcome& outcome) {
+  TraceEvent ev("span", static_cast<std::size_t>(k));
+  ev.add("robot", static_cast<std::int64_t>(robot));
+  ev.add("span_version", static_cast<std::int64_t>(kSpanSchemaVersion));
+  ev.add("packets", static_cast<std::int64_t>(stamps.packets));
+  // Raw first-ingest stamp anchors the span on the shared steady clock so
+  // spans across robots (and the service's latency histograms) line up.
+  ev.add("ingest_ns", static_cast<std::int64_t>(stamps.first_ingest_ns));
+  ev.add("ring_ns", stage_ns(stamps.first_ingest_ns, stamps.first_dequeue_ns));
+  ev.add("reassembly_ns",
+         stage_ns(stamps.first_dequeue_ns, stamps.last_dequeue_ns));
+  ev.add("step_wait_ns", stage_ns(stamps.last_dequeue_ns, stamps.step_start_ns));
+  ev.add("step_ns", stage_ns(stamps.step_start_ns, stamps.step_end_ns));
+  ev.add("publish_ns", stage_ns(stamps.step_end_ns, stamps.publish_ns));
+  ev.add("total_ns", stage_ns(stamps.first_ingest_ns, stamps.publish_ns));
+  ev.add("masked", outcome.masked);
+  ev.add("forced", outcome.forced);
+  ev.add("sensor_alarm", outcome.sensor_alarm);
+  ev.add("actuator_alarm", outcome.actuator_alarm);
+  return ev;
+}
+
+}  // namespace roboads::obs

@@ -1,0 +1,123 @@
+// roboads_fleet argument parsing (fleet/cli.h): every flag goes through
+// common/parse.h strict whole-string parsing, so a typo'd value yields a
+// one-line diagnostic naming the flag — never a silently misconfigured
+// fleet — and the cross-flag invariants (--trace-out without sampling,
+// --json without --once in top mode) are rejected up front. The tool turns
+// any non-empty diagnostic into exit 2 (tools/roboads_fleet.cc).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/cli.h"
+
+namespace roboads::fleet {
+namespace {
+
+std::string run_error(const std::vector<std::string>& args) {
+  FleetRunOptions o;
+  return parse_fleet_run_args(args, o);
+}
+
+std::string top_error(const std::vector<std::string>& args) {
+  FleetTopOptions o;
+  return parse_fleet_top_args(args, o);
+}
+
+TEST(FleetCli, RunDefaultsAndFullFlagSet) {
+  FleetRunOptions o;
+  EXPECT_EQ(parse_fleet_run_args({}, o), "");
+  EXPECT_EQ(o.robots, 32u);
+  EXPECT_EQ(o.trace_sample, 0u);
+  EXPECT_FALSE(o.parity);
+
+  FleetRunOptions full;
+  EXPECT_EQ(parse_fleet_run_args(
+                {"--robots=64", "--shards=4", "--iterations=200",
+                 "--scenario=0", "--seed=9", "--missions=6", "--hz=12.5",
+                 "--parity", "--json", "--trace-sample=8",
+                 "--trace-out=spans.jsonl", "--status-out=status.json",
+                 "--status-interval=0.25", "--hist-out=hist.jsonl"},
+                full),
+            "");
+  EXPECT_EQ(full.robots, 64u);
+  EXPECT_EQ(full.shards, 4u);
+  EXPECT_EQ(full.iterations, 200u);
+  EXPECT_EQ(full.scenario, 0u);
+  EXPECT_EQ(full.seed, 9u);
+  EXPECT_EQ(full.missions, 6u);
+  EXPECT_DOUBLE_EQ(full.hz, 12.5);
+  EXPECT_TRUE(full.parity);
+  EXPECT_TRUE(full.json);
+  EXPECT_EQ(full.trace_sample, 8u);
+  EXPECT_EQ(full.trace_out, "spans.jsonl");
+  EXPECT_EQ(full.status_out, "status.json");
+  EXPECT_DOUBLE_EQ(full.status_interval_s, 0.25);
+  EXPECT_EQ(full.hist_out, "hist.jsonl");
+}
+
+TEST(FleetCli, MalformedValuesNameTheFlag) {
+  EXPECT_NE(run_error({"--robots=abc"}).find("--robots"), std::string::npos);
+  EXPECT_NE(run_error({"--robots=12x"}).find("--robots"), std::string::npos);
+  EXPECT_NE(run_error({"--robots=-3"}).find("--robots"), std::string::npos);
+  EXPECT_NE(run_error({"--hz=fast"}).find("--hz"), std::string::npos);
+  EXPECT_NE(run_error({"--hz=-1"}).find("--hz"), std::string::npos);
+  EXPECT_NE(run_error({"--hz=nan"}).find("--hz"), std::string::npos);
+  EXPECT_NE(run_error({"--trace-sample=half"}).find("--trace-sample"),
+            std::string::npos);
+  EXPECT_NE(run_error({"--seed=1.5"}).find("--seed"), std::string::npos);
+  EXPECT_NE(run_error({"--status-interval=soon"}).find("--status-interval"),
+            std::string::npos);
+  EXPECT_NE(run_error({"--trace-out="}).find("--trace-out"),
+            std::string::npos);
+}
+
+TEST(FleetCli, UnknownArgumentsAreNamed) {
+  EXPECT_EQ(run_error({"--robot=4"}), "unknown argument --robot=4");
+  EXPECT_EQ(run_error({"extra"}), "unknown argument extra");
+  EXPECT_EQ(top_error({"--status=s.json", "--watch"}),
+            "unknown argument --watch");
+}
+
+TEST(FleetCli, ZeroCountsAreRejected) {
+  EXPECT_NE(run_error({"--robots=0"}), "");
+  EXPECT_NE(run_error({"--iterations=0"}), "");
+  EXPECT_NE(run_error({"--missions=0"}), "");
+  // --shards=0 is meaningful (hardware concurrency), --scenario=0 is the
+  // attack-free baseline, --trace-sample=0 is tracing off.
+  EXPECT_EQ(run_error({"--shards=0"}), "");
+  EXPECT_EQ(run_error({"--scenario=0"}), "");
+  EXPECT_EQ(run_error({"--trace-sample=0"}), "");
+}
+
+TEST(FleetCli, TraceOutRequiresSampling) {
+  EXPECT_NE(run_error({"--trace-out=spans.jsonl"}).find("--trace-sample"),
+            std::string::npos);
+  EXPECT_EQ(run_error({"--trace-out=spans.jsonl", "--trace-sample=4"}), "");
+}
+
+TEST(FleetCli, TopFlagSetAndInvariants) {
+  FleetTopOptions o;
+  EXPECT_EQ(parse_fleet_top_args(
+                {"--status=fleet_status.json", "--once", "--json"}, o),
+            "");
+  EXPECT_EQ(o.status_path, "fleet_status.json");
+  EXPECT_TRUE(o.once);
+  EXPECT_TRUE(o.json);
+
+  FleetTopOptions live;
+  EXPECT_EQ(parse_fleet_top_args({"--status=s.json", "--interval=0.5"}, live),
+            "");
+  EXPECT_DOUBLE_EQ(live.interval_s, 0.5);
+
+  EXPECT_NE(top_error({}).find("--status"), std::string::npos);
+  EXPECT_NE(top_error({"--status=s.json", "--json"}).find("--once"),
+            std::string::npos);
+  EXPECT_NE(top_error({"--status=s.json", "--interval=0"}).find("--interval"),
+            std::string::npos);
+  EXPECT_NE(top_error({"--status=s.json", "--interval=-1"}).find("--interval"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace roboads::fleet

@@ -106,6 +106,99 @@ TEST_F(MetricsFileTest, LoadedSamplesRenderIdenticallyToTheLiveRegistry) {
   EXPECT_EQ(samples.size(), 4u);
 }
 
+// The fleet tools' second offline format: named histogram-snapshot JSONL
+// (roboads_fleet --hist-out), loaded and rendered by the same
+// roboads_report binary via first-line sniffing.
+using HistogramFileTest = MetricsFileTest;
+
+HistogramSnapshot small_hist() {
+  HistogramSnapshot h =
+      HistogramSnapshot::with_bounds(default_latency_bounds_ns());
+  h.record(1500.0);
+  h.record(80000.0);
+  h.record(2.5e6);
+  return h;
+}
+
+TEST_F(HistogramFileTest, NamedLinesRoundTripBitExactly) {
+  const HistogramSnapshot h = small_hist();
+  {
+    std::ofstream os(path_, std::ios::binary);
+    write_named_histogram(os, "fleet.ingest_to_step_ns", h);
+    os << '\n';
+    write_named_histogram(os, "fleet.shard0.ingest_to_step_ns", h);
+    os << '\n';
+  }
+  const std::vector<NamedHistogram> loaded = load_histograms_jsonl(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "fleet.ingest_to_step_ns");
+  EXPECT_EQ(loaded[1].name, "fleet.shard0.ingest_to_step_ns");
+  std::ostringstream want, got;
+  write_histogram(want, h);
+  write_histogram(got, loaded[0].histogram);
+  EXPECT_EQ(got.str(), want.str());
+}
+
+TEST_F(HistogramFileTest, BareHistogramLinesGetPositionalNames) {
+  {
+    std::ofstream os(path_, std::ios::binary);
+    write_histogram(os, small_hist());
+    os << '\n';
+    write_histogram(os, small_hist());
+    os << '\n';
+  }
+  const std::vector<NamedHistogram> loaded = load_histograms_jsonl(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "histogram[1]");  // named by line number
+  EXPECT_EQ(loaded[1].name, "histogram[2]");
+}
+
+TEST_F(HistogramFileTest, LoudOnMissingEmptyAndTruncated) {
+  EXPECT_THROW(load_histograms_jsonl(path_), CheckError);
+  write_file("");
+  EXPECT_THROW(load_histograms_jsonl(path_), CheckError);
+  std::ostringstream one;
+  write_named_histogram(one, "a_ns", small_hist());
+  write_file(one.str());  // no final newline = torn write
+  try {
+    load_histograms_jsonl(path_);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST_F(HistogramFileTest, RenderReportFileSniffsBothFormats) {
+  // Histogram-snapshot file → the n/mean/p50/p99 table with durations.
+  {
+    std::ofstream os(path_, std::ios::binary);
+    write_named_histogram(os, "fleet.ingest_to_step_ns", small_hist());
+    os << '\n';
+  }
+  const std::string hist_render = render_report_file(path_);
+  EXPECT_NE(hist_render.find("fleet.ingest_to_step_ns"), std::string::npos);
+  EXPECT_NE(hist_render.find("p99"), std::string::npos);
+
+  // Metrics registry dump → the classic report, unchanged.
+  MetricsRegistry registry;
+  registry.counter("detector.alarms").increment(2);
+  {
+    std::ofstream os(path_, std::ios::binary);
+    registry.write_jsonl(os);
+  }
+  EXPECT_EQ(render_report_file(path_), render_report(registry));
+}
+
+TEST(RenderHistograms, DurationsForNsNamesPlainNumbersOtherwise) {
+  HistogramSnapshot h = small_hist();
+  const std::string table = render_histograms(
+      {{"fleet.ingest_to_step_ns", h}, {"queue.depth", h}});
+  EXPECT_NE(table.find("fleet.ingest_to_step_ns"), std::string::npos);
+  EXPECT_NE(table.find("queue.depth"), std::string::npos);
+  // _ns columns format as durations (us/ms), the dimensionless row doesn't.
+  EXPECT_NE(table.find("us"), std::string::npos);
+}
+
 TEST(FormatDuration, PicksTheReadableUnit) {
   EXPECT_EQ(format_duration_ns(250.0), "250ns");
   EXPECT_EQ(format_duration_ns(1500.0), "1.50us");
